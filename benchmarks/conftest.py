@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures.
+
+Every bench pulls its dataset bundle from here so graphs are generated once
+per session.  ``REPRO_BENCH_SCALE`` tunes the dataset size (default 4.0 ≈
+4-5k entities per dataset: big enough that pruning matters and truth sets
+reach the low hundreds, small enough that the full suite runs in minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.datasets import load_bundle
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "4.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def sweep_bundle(preset: str, min_truth: int = 60):
+    """A bundle restricted to large-truth simple queries (Fig. 12-14 use
+    queries with hundreds of validation answers, e.g. Q117's 596)."""
+    bundle = load_bundle(preset, scale=BENCH_SCALE, seed=BENCH_SEED)
+    filtered = [
+        q
+        for q in bundle.workload
+        if q.complexity == "simple" and len(bundle.truth[q.qid]) >= min_truth
+    ]
+    if filtered:
+        bundle = type(bundle)(
+            preset=bundle.preset,
+            schema=bundle.schema,
+            kg=bundle.kg,
+            library=bundle.library,
+            space=bundle.space,
+            workload=filtered,
+            truth=bundle.truth,
+        )
+    return bundle
+
+
+@pytest.fixture(scope="session")
+def dbpedia_bundle():
+    return load_bundle("dbpedia", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_sweep_bundle():
+    return sweep_bundle("dbpedia")
+
+
+@pytest.fixture(scope="session")
+def freebase_sweep_bundle():
+    return sweep_bundle("freebase", min_truth=40)
+
+
+@pytest.fixture(scope="session")
+def yago2_sweep_bundle():
+    return sweep_bundle("yago2", min_truth=40)

@@ -1,0 +1,41 @@
+"""gStore-style baseline: exact subgraph isomorphism (Zou et al., PVLDB'11).
+
+Table II features: no node similarity, no edge-to-path mapping, predicates
+respected.  gStore answers SPARQL via exact subgraph matching, so here a
+query matches only when every query node maps to an entity with the exact
+name/type and every query edge maps to a single directed knowledge-graph
+edge with the exact predicate.  Consequently (the paper's Fig. 1): the
+``<Car>`` and ``GER`` variants of Q117 return nothing, and only the 1-hop
+``assembly`` schema's answers are found — perfect precision, low recall.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.baselines.base import (
+    GraphQueryMethod,
+    backtracking_match,
+    exact_name_type_matches,
+)
+from repro.kg.graph import KnowledgeGraph
+from repro.query.model import QueryEdge, QueryGraph, QueryNode
+
+
+class GStoreBaseline(GraphQueryMethod):
+    """Exact graph-isomorphism matching."""
+
+    name = "gStore"
+
+    def _rank(
+        self, query: QueryGraph, answer_label: str, k: int
+    ) -> List[Tuple[int, float]]:
+        def node_candidates(node: QueryNode) -> List[Tuple[int, float]]:
+            return [(uid, 1.0) for uid in exact_name_type_matches(self.kg, node)]
+
+        def edge_match(edge: QueryEdge, source_uid: int, target_uid: int) -> Optional[float]:
+            if self.kg.has_edge(source_uid, edge.predicate, target_uid):
+                return 1.0
+            return None
+
+        return backtracking_match(query, answer_label, node_candidates, edge_match)

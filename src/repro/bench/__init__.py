@@ -1,0 +1,18 @@
+"""Experiment infrastructure: metrics, workloads, datasets, runners."""
+
+from repro.bench.metrics import EffectivenessScores, evaluate_answers, f1_score, jaccard
+from repro.bench.datasets import DatasetBundle, load_bundle
+from repro.bench.workloads import WorkloadQuery, TruthConstraint
+from repro.bench.groundtruth import compute_truth
+
+__all__ = [
+    "EffectivenessScores",
+    "evaluate_answers",
+    "f1_score",
+    "jaccard",
+    "DatasetBundle",
+    "load_bundle",
+    "WorkloadQuery",
+    "TruthConstraint",
+    "compute_truth",
+]

@@ -1,0 +1,166 @@
+"""Simulated crowdsourcing user study (Section VII-D).
+
+The paper recruited annotators on the Baidu crowdsourcing platform; we
+simulate the protocol end to end with a preference model:
+
+1. run SGQ, take the top-k answers (k = validation-set size);
+2. group answers by match score and sample 30 pairs across groups
+   (never within a group, exactly as the paper avoids same-score pairs);
+3. show each pair to 10 simulated annotators; an annotator prefers the
+   answer with higher *latent quality* with a logistic probability in the
+   quality gap — latent quality is ground-truth membership plus a noisy
+   personal taste term, which is what human judgments of "better answer"
+   amount to in this protocol;
+4. per query, correlate the SGQ rank differences with the preference-count
+   differences (Pearson) — Table VII's PCC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.stats import pearson_correlation
+
+
+@dataclass
+class RankedAnswer:
+    """One SGQ answer as shown to annotators."""
+
+    uid: int
+    rank: int  # 1 = best
+    score: float
+    in_truth: bool
+
+
+@dataclass
+class UserStudyResult:
+    """Outcome of one simulated query study."""
+
+    pcc: float
+    pairs: int
+    opinions: int
+
+
+def group_by_score(answers: Sequence[RankedAnswer], decimals: int = 2) -> List[List[RankedAnswer]]:
+    """Group answers whose match scores coincide (rounded)."""
+    groups: Dict[float, List[RankedAnswer]] = {}
+    for answer in answers:
+        groups.setdefault(round(answer.score, decimals), []).append(answer)
+    return [groups[key] for key in sorted(groups, reverse=True)]
+
+
+def sample_cross_group_pairs(
+    groups: Sequence[Sequence[RankedAnswer]],
+    num_pairs: int,
+    seed: SeedLike = 0,
+) -> List[Tuple[RankedAnswer, RankedAnswer]]:
+    """Random answer pairs drawn from *different* score groups."""
+    if len(groups) < 2:
+        raise ReproError("need at least two score groups to form pairs")
+    rng = derive_rng(seed, "user-study:pairs")
+    pairs: List[Tuple[RankedAnswer, RankedAnswer]] = []
+    group_count = len(groups)
+    for _ in range(num_pairs):
+        ga, gb = rng.choice(group_count, size=2, replace=False)
+        a = groups[int(ga)][int(rng.integers(len(groups[int(ga)])))]
+        b = groups[int(gb)][int(rng.integers(len(groups[int(gb)])))]
+        pairs.append((a, b))
+    return pairs
+
+
+class SimulatedAnnotatorPool:
+    """Ten (by default) annotators with logistic preference behaviour.
+
+    Latent quality of an answer = ``truth_weight`` if it is a correct
+    answer else 0, plus a per-annotator-per-answer taste jitter.  The
+    probability of preferring answer ``a`` over ``b`` is the logistic of
+    the quality gap scaled by ``sharpness``.
+    """
+
+    def __init__(
+        self,
+        size: int = 10,
+        *,
+        truth_weight: float = 1.0,
+        score_weight: float = 0.6,
+        taste_scale: float = 0.3,
+        sharpness: float = 4.0,
+        seed: SeedLike = 0,
+    ):
+        if size < 1:
+            raise ReproError("annotator pool must have at least one member")
+        self.size = size
+        self.truth_weight = truth_weight
+        self.score_weight = score_weight
+        self.taste_scale = taste_scale
+        self.sharpness = sharpness
+        self._rng = derive_rng(seed, "user-study:annotators")
+
+    def _quality(self, answer: RankedAnswer) -> float:
+        """Correctness + perceived semantic closeness + personal taste.
+
+        The score term models that humans mildly perceive the semantic
+        quality the match score captures (two correct answers are not
+        interchangeable to a user: one reached via ``assembly`` reads as a
+        better answer than one via a design-studio chain).
+        """
+        taste = self.taste_scale * float(self._rng.standard_normal())
+        base = self.truth_weight if answer.in_truth else 0.0
+        return base + self.score_weight * answer.score + taste
+
+    def judge_pair(self, a: RankedAnswer, b: RankedAnswer) -> Tuple[int, int]:
+        """Votes (for a, for b) across the pool."""
+        votes_a = 0
+        for _annotator in range(self.size):
+            gap = self._quality(a) - self._quality(b)
+            probability = 1.0 / (1.0 + math.exp(-self.sharpness * gap))
+            if self._rng.random() < probability:
+                votes_a += 1
+        return votes_a, self.size - votes_a
+
+
+def run_user_study(
+    answers: Sequence[RankedAnswer],
+    *,
+    num_pairs: int = 30,
+    annotators: int = 10,
+    seed: SeedLike = 0,
+) -> UserStudyResult:
+    """The full Section VII-D protocol for one query.
+
+    Returns the PCC between SGQ's rank differences and the annotators'
+    preference-count differences over the sampled pairs.
+    """
+    groups = group_by_score(answers)
+    pairs = sample_cross_group_pairs(groups, num_pairs, seed=seed)
+    pool = SimulatedAnnotatorPool(annotators, seed=seed)
+
+    rank_differences: List[float] = []
+    preference_differences: List[float] = []
+    for a, b in pairs:
+        votes_a, votes_b = pool.judge_pair(a, b)
+        # X: SGQ's view — positive when it ranks `a` better (lower rank).
+        rank_differences.append(float(b.rank - a.rank))
+        # Y: annotators' view — positive when they prefer `a`.
+        preference_differences.append(float(votes_a - votes_b))
+
+    return UserStudyResult(
+        pcc=pearson_correlation(rank_differences, preference_differences),
+        pairs=len(pairs),
+        opinions=len(pairs) * annotators,
+    )
+
+
+def classify_pcc(pcc: float) -> str:
+    """Cohen's interpretation bands used by the paper."""
+    if pcc >= 0.5:
+        return "strong"
+    if pcc >= 0.3:
+        return "medium"
+    if pcc >= 0.1:
+        return "small"
+    return "none"

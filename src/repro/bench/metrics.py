@@ -1,0 +1,84 @@
+"""Effectiveness metrics (Section VII-A).
+
+Precision is the fraction of returned top-k answers that are correct;
+recall the fraction of correct answers returned; F1 their harmonic mean —
+the exact definitions of the paper.  Jaccard similarity quantifies TBQ's
+approximation degree (Eq. 12); the Pearson correlation for the user study
+lives in :mod:`repro.utils.stats` and is re-exported here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set
+
+from repro.errors import ReproError
+from repro.utils.stats import pearson_correlation
+
+__all__ = [
+    "EffectivenessScores",
+    "evaluate_answers",
+    "precision_recall",
+    "f1_score",
+    "jaccard",
+    "pearson_correlation",
+]
+
+
+@dataclass
+class EffectivenessScores:
+    """Precision / recall / F1 for one query (or averaged over many)."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def average(cls, scores: Sequence["EffectivenessScores"]) -> "EffectivenessScores":
+        if not scores:
+            raise ReproError("cannot average zero score records")
+        return cls(
+            precision=sum(s.precision for s in scores) / len(scores),
+            recall=sum(s.recall for s in scores) / len(scores),
+            f1=sum(s.f1 for s in scores) / len(scores),
+        )
+
+
+def precision_recall(
+    answers: Sequence[int], truth: Set[int]
+) -> "tuple[float, float]":
+    """(precision, recall) of an answer list against the validation set.
+
+    An empty answer list scores (0, 0); an empty validation set is a
+    workload bug and raises.
+    """
+    if not truth:
+        raise ReproError("empty ground-truth set — check the workload definition")
+    if not answers:
+        return 0.0, 0.0
+    hits = sum(1 for uid in answers if uid in truth)
+    return hits / len(answers), hits / len(truth)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean; 0.0 when either side is 0 (the paper's convention)."""
+    if precision <= 0.0 or recall <= 0.0:
+        return 0.0
+    return 2.0 / (1.0 / precision + 1.0 / recall)
+
+
+def evaluate_answers(answers: Sequence[int], truth: Set[int]) -> EffectivenessScores:
+    """P/R/F1 of a ranked answer list against the validation set."""
+    precision, recall = precision_recall(answers, truth)
+    return EffectivenessScores(
+        precision=precision, recall=recall, f1=f1_score(precision, recall)
+    )
+
+
+def jaccard(a: Iterable[int], b: Iterable[int]) -> float:
+    """Jaccard similarity of two answer sets (Eq. 12); 1.0 for two empties."""
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)

@@ -1,0 +1,16 @@
+"""Core SGQ/TBQ machinery: semantic graph, pss, A*, TA assembly, engine."""
+
+from repro.core.config import PssMode, SearchConfig, VisitedPolicy
+from repro.core.engine import SemanticGraphQueryEngine
+from repro.core.results import FinalMatch, PathMatch, QueryResult, SearchStats
+
+__all__ = [
+    "PssMode",
+    "SearchConfig",
+    "VisitedPolicy",
+    "SemanticGraphQueryEngine",
+    "FinalMatch",
+    "PathMatch",
+    "QueryResult",
+    "SearchStats",
+]

@@ -1,0 +1,89 @@
+"""Search configuration shared by SGQ and TBQ.
+
+Paper defaults (Section VII-A): pss threshold τ = 0.8 and user-desired path
+length n̂ = 4.  Everything else exists either to make experiments
+controllable (clock source, assembly cost constant) or as an explicit
+ablation hook documented in DESIGN.md (scoring mode, visited policy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+class PssMode(enum.Enum):
+    """Path-score aggregation: the paper's geometric mean, or the
+    arithmetic-mean ablation (``bench_ablation_scoring``)."""
+
+    GEOMETRIC = "geometric"
+    ARITHMETIC = "arithmetic"
+
+
+class VisitedPolicy(enum.Enum):
+    """When a knowledge-graph state is marked visited.
+
+    ``GENERATE`` is Algorithm 1 exactly: a node enters ``visited`` the
+    moment it is first pushed, so later (possibly better) partial paths to
+    it are dropped — which silently prunes answers whose best path shares a
+    node with an earlier-explored worse path (recall saturates well below
+    the reachable set).  ``EXPAND`` is the textbook-A* variant: states
+    close at expansion and may be re-opened by a better partial path, which
+    makes the optimality guarantee (Theorem 2) hold unconditionally; it is
+    the default, and the ablation bench quantifies the gap.
+    """
+
+    GENERATE = "generate"
+    EXPAND = "expand"
+
+
+@dataclass
+class SearchConfig:
+    """Knobs for the A* semantic search and assembly.
+
+    Attributes:
+        tau: pss pruning threshold τ (Definition 7); partial paths whose
+            estimated pss falls below it are discarded (Lemma 3).
+        path_bound: user-desired path length n̂ *per query edge* — a query
+            edge may map to at most this many knowledge-graph hops.
+        min_weight: semantic-graph edges with weight below this are not
+            materialised at all (0 disables the shortcut; weights are
+            already clamped to [0, 1]).
+        scoring: pss aggregation mode.
+        visited_policy: see :class:`VisitedPolicy` (default EXPAND).
+        max_expansions: hard safety cap on A* expansions per sub-query
+            (None = unlimited); exceeded caps raise nothing — the search
+            just reports exhaustion, which keeps worst-case bench queries
+            bounded.
+        assembly_seconds_per_match: the empirical constant ``t`` of
+            Algorithm 3 (estimated TA time per collected match).
+        alert_ratio: the ``r%`` of Algorithm 3 (default 0.8: launch
+            assembly when the estimated total time reaches 80% of the
+            bound).
+    """
+
+    tau: float = 0.8
+    path_bound: int = 4
+    min_weight: float = 0.0
+    scoring: PssMode = PssMode.GEOMETRIC
+    visited_policy: VisitedPolicy = VisitedPolicy.EXPAND
+    max_expansions: Optional[int] = None
+    assembly_seconds_per_match: float = 2e-5
+    alert_ratio: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tau <= 1.0:
+            raise ConfigError(f"tau must be in [0, 1], got {self.tau}")
+        if self.path_bound < 1:
+            raise ConfigError("path_bound (n̂) must be at least 1")
+        if not 0.0 <= self.min_weight <= 1.0:
+            raise ConfigError("min_weight must be in [0, 1]")
+        if self.max_expansions is not None and self.max_expansions < 1:
+            raise ConfigError("max_expansions must be positive when set")
+        if self.assembly_seconds_per_match < 0:
+            raise ConfigError("assembly_seconds_per_match must be >= 0")
+        if not 0.0 < self.alert_ratio <= 1.0:
+            raise ConfigError("alert_ratio must be in (0, 1]")

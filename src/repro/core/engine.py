@@ -1,0 +1,187 @@
+"""The SGQ / TBQ query engine — the paper's Fig. 5 pipeline, online half.
+
+Wires together decomposition (Section III-A), the on-demand semantic graph
+(Section IV-B), per-sub-query A* semantic search (Section V-B), TA final-
+match assembly (Section V-C) and the time-bounded approximate mode
+(Section VI) behind two calls:
+
+    engine = SemanticGraphQueryEngine(kg, predicate_space, library)
+    result = engine.search(query, k=100)                      # SGQ
+    result = engine.search_time_bounded(query, k=100, T=0.05) # TBQ
+
+The SGQ path is fully lazy: TA sorted access pulls matches straight out of
+the still-running A* searches, which realises the paper's "repeat the A*
+semantic search for each g_i until sufficient final matches are returned"
+without guessing how many matches each sub-query must contribute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.assembly import MatchStream, assemble_top_k
+from repro.core.astar import SubQuerySearch
+from repro.core.config import SearchConfig
+from repro.core.results import QueryResult
+from repro.core.semantic_graph import SemanticGraphView
+from repro.core.time_bounded import TimeBoundedCoordinator
+from repro.embedding.predicate_space import PredicateSpace
+from repro.errors import SearchError
+from repro.kg.graph import KnowledgeGraph
+from repro.query.decompose import Decomposition, decompose_query
+from repro.query.model import QueryGraph
+from repro.query.transform import NodeMatcher, TransformationLibrary
+from repro.utils.timing import Clock, Stopwatch, WallClock
+
+
+class SemanticGraphQueryEngine:
+    """Top-k semantic similarity search over one knowledge graph.
+
+    Args:
+        kg: the knowledge graph to query.
+        space: predicate semantic space (trained embedding or oracle).
+        library: synonym/abbreviation transformation library for node
+            matching; ``None`` allows identical matches only.
+        config: search configuration (paper defaults when omitted).
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateSpace,
+        library: Optional[TransformationLibrary] = None,
+        config: Optional[SearchConfig] = None,
+    ):
+        self.kg = kg
+        self.space = space
+        self.config = config if config is not None else SearchConfig()
+        self.matcher = NodeMatcher(kg, library)
+
+    # ------------------------------------------------------------------
+    def decompose(
+        self,
+        query: QueryGraph,
+        *,
+        pivot: Optional[str] = None,
+        strategy: str = "min_cost",
+        seed: int = 0,
+    ) -> Decomposition:
+        """Decompose a query around a pivot (Eq. 1's minCost by default)."""
+        return decompose_query(
+            query,
+            kg=self.kg,
+            matcher=self.matcher,
+            strategy=strategy,
+            pivot=pivot,
+            path_bound=self.config.path_bound,
+            seed=seed,
+        )
+
+    def _build_searches(
+        self,
+        decomposition: Decomposition,
+        view: SemanticGraphView,
+        clock: Optional[Clock] = None,
+    ) -> List[SubQuerySearch]:
+        return [
+            SubQuerySearch(
+                view,
+                subquery,
+                self.matcher,
+                self.config,
+                subquery_index=index,
+                clock=clock,
+            )
+            for index, subquery in enumerate(decomposition.subqueries)
+        ]
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: QueryGraph,
+        k: int = 10,
+        *,
+        pivot: Optional[str] = None,
+        strategy: str = "min_cost",
+        decomposition: Optional[Decomposition] = None,
+        exhaustive_assembly: bool = False,
+    ) -> QueryResult:
+        """SGQ: globally optimal top-k matches (Problem 1 / Eq. 3).
+
+        Args:
+            query: the query graph.
+            k: number of final matches.
+            pivot: force a pivot node label (Table V experiments).
+            strategy: pivot-selection strategy when ``pivot`` is ``None``.
+            decomposition: reuse a precomputed decomposition.
+            exhaustive_assembly: ablation switch disabling TA early
+                termination.
+        """
+        if k < 1:
+            raise SearchError("k must be at least 1")
+        watch = Stopwatch()
+        if decomposition is None:
+            decomposition = self.decompose(query, pivot=pivot, strategy=strategy)
+        view = SemanticGraphView(self.kg, self.space, min_weight=self.config.min_weight)
+        searches = self._build_searches(decomposition, view)
+        streams = [MatchStream(search.next_match) for search in searches]
+        assembly = assemble_top_k(streams, k, exhaustive=exhaustive_assembly)
+        for search in searches:
+            search.stats.nodes_touched = view.touched_nodes
+            search.stats.edges_weighted = view.edges_weighted
+        return QueryResult(
+            matches=assembly.matches,
+            elapsed_seconds=watch.elapsed(),
+            approximate=False,
+            subquery_stats=[search.stats for search in searches],
+            ta_accesses=assembly.accesses,
+        )
+
+    # ------------------------------------------------------------------
+    def search_time_bounded(
+        self,
+        query: QueryGraph,
+        k: int = 10,
+        *,
+        time_bound: float,
+        pivot: Optional[str] = None,
+        strategy: str = "min_cost",
+        decomposition: Optional[Decomposition] = None,
+        clock: Optional[Clock] = None,
+        check_interval: int = 8,
+    ) -> QueryResult:
+        """TBQ: approximate top-k within ``time_bound`` seconds (Problem 2).
+
+        Harvested non-optimal match sets are assembled with the same TA;
+        given enough time the harvest is a superset of the optimal match
+        sets, so the result converges to :meth:`search`'s (Theorem 4).
+        """
+        if k < 1:
+            raise SearchError("k must be at least 1")
+        watch = Stopwatch()
+        if decomposition is None:
+            decomposition = self.decompose(query, pivot=pivot, strategy=strategy)
+        view = SemanticGraphView(self.kg, self.space, min_weight=self.config.min_weight)
+        run_clock = clock if clock is not None else WallClock()
+        searches = self._build_searches(decomposition, view, clock=run_clock)
+        coordinator = TimeBoundedCoordinator(
+            searches,
+            time_bound,
+            self.config,
+            clock=run_clock,
+            check_interval=check_interval,
+        )
+        outcome = coordinator.run()
+        streams = [MatchStream.from_list(harvest) for harvest in outcome.harvests]
+        assembly = assemble_top_k(streams, k)
+        for search in searches:
+            search.stats.nodes_touched = view.touched_nodes
+            search.stats.edges_weighted = view.edges_weighted
+        return QueryResult(
+            matches=assembly.matches,
+            elapsed_seconds=watch.elapsed(),
+            approximate=True,
+            subquery_stats=[search.stats for search in searches],
+            ta_accesses=assembly.accesses,
+            time_bound=time_bound,
+        )

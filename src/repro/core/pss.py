@@ -1,0 +1,117 @@
+"""Path semantic similarity (Eq. 6) and its admissible estimate (Eq. 7).
+
+Exact pss of a match is the geometric mean of its semantic-graph weights:
+
+    ψ(path) = (Π w_j) ^ (1 / n)           n = hop count of the path
+
+The A* heuristic at a detected node ``u_i`` splits the match into the
+explored prefix and the unexplored suffix, bounding the suffix's weight
+product by ``m(u_i)`` (Lemma 1) and the total length by the user bound N̂:
+
+    ψ̂ = (Π_explored w_j · m(u_i)) ^ (1 / N̂)          (Eq. 7)
+
+Theorem 1 (ψ̂ ≥ ψ for any completion within N̂ hops) holds because weights
+live in (0, 1]: a product over (0,1] only shrinks as factors accumulate,
+and x^(1/N̂) ≥ x^(1/n) for x ∈ (0,1], N̂ ≥ n.
+
+Everything is computed in log space so 10-hop paths of weight 0.8 don't
+underflow, and the A* state can carry a single running ``log_product``.
+
+The arithmetic-mean mode is the scoring ablation: same interface, with the
+matching admissible upper bound (see :func:`estimate_pss`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.core.config import PssMode
+from repro.errors import SearchError
+
+#: log-domain stand-in for log(0); large enough to survive additions.
+LOG_ZERO = -1e18
+
+
+def log_weight(weight: float) -> float:
+    """The log of one clamped weight; ``LOG_ZERO`` for weight <= 0."""
+    if weight <= 0.0:
+        return LOG_ZERO
+    if weight > 1.0:
+        raise SearchError(f"semantic weight {weight} exceeds 1.0; clamp upstream")
+    return math.log(weight)
+
+
+def exact_pss(
+    weights: Sequence[float], mode: PssMode = PssMode.GEOMETRIC
+) -> float:
+    """Exact path score for a complete match (Eq. 6)."""
+    if not weights:
+        raise SearchError("pss of an empty path is undefined")
+    if mode is PssMode.GEOMETRIC:
+        log_sum = 0.0
+        for weight in weights:
+            if weight <= 0.0:
+                return 0.0
+            log_sum += log_weight(weight)
+        return math.exp(log_sum / len(weights))
+    return sum(weights) / len(weights)
+
+
+def exact_pss_from_log(
+    log_product: float, hops: int, mode: PssMode = PssMode.GEOMETRIC, weight_sum: float = 0.0
+) -> float:
+    """Exact pss from A*-state accumulators (log product / plain sum)."""
+    if hops <= 0:
+        raise SearchError("a match must contain at least one hop")
+    if mode is PssMode.GEOMETRIC:
+        if log_product <= LOG_ZERO / 2:
+            return 0.0
+        return math.exp(log_product / hops)
+    return weight_sum / hops
+
+
+def estimate_pss(
+    log_product: float,
+    hops: int,
+    max_remaining_weight: float,
+    total_bound: int,
+    mode: PssMode = PssMode.GEOMETRIC,
+    weight_sum: float = 0.0,
+) -> float:
+    """Admissible upper bound ψ̂ on any completion's exact pss (Eq. 7).
+
+    Args:
+        log_product: log of the explored prefix's weight product.
+        hops: hops explored so far (may be 0 at the start node).
+        max_remaining_weight: ``m(u_i)`` — max semantic weight adjacent to
+            the frontier node (Lemma 1's bound on the suffix product).
+        total_bound: N̂ — maximum total hops of an acceptable match.
+        mode: scoring mode; the arithmetic bound allows the next edge up
+            to ``m`` and every later edge up to 1, maximised over the
+            admissible lengths.
+    """
+    if total_bound < 1:
+        raise SearchError("total_bound (N̂) must be at least 1")
+    if hops > total_bound:
+        return 0.0
+    if mode is PssMode.GEOMETRIC:
+        if max_remaining_weight <= 0.0:
+            # No continuation exists; the only completion is the current
+            # path itself (valid only if it is already a goal — the caller
+            # handles goals separately), so the bound collapses.
+            return 0.0
+        if log_product <= LOG_ZERO / 2:
+            return 0.0
+        return math.exp((log_product + log_weight(max_remaining_weight)) / total_bound)
+
+    # Arithmetic ablation: the next edge is bounded by m, every edge after
+    # it only by 1, and the mean is maximised at n = N̂ (the value
+    # (S + m + (n-h-1))/n is non-decreasing in n because S <= h, m <= 1).
+    if max_remaining_weight <= 0.0:
+        return weight_sum / hops if hops > 0 else 0.0
+    extended = (
+        weight_sum + max_remaining_weight + (total_bound - hops - 1)
+    ) / total_bound if total_bound > hops else 0.0
+    stop_now = weight_sum / hops if hops > 0 else 0.0
+    return max(extended, stop_now)

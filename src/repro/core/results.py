@@ -1,0 +1,127 @@
+"""Result value types: sub-query matches, final matches, query results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.paths import Path
+
+
+@dataclass(frozen=True)
+class PathMatch:
+    """A match of one sub-query graph (Definition 7).
+
+    ``path`` runs from a φ-match of the sub-query's specific start node to
+    ``pivot_uid`` (a φ-match of the pivot); ``pss`` is its exact path
+    semantic similarity (Eq. 6).
+    """
+
+    subquery_index: int
+    path: Path
+    pivot_uid: int
+    pss: float
+
+    def describe(self, kg: KnowledgeGraph) -> str:
+        return f"[g{self.subquery_index}] {self.path.describe(kg)} (pss={self.pss:.3f})"
+
+
+@dataclass
+class FinalMatch:
+    """A final match ``fm(u^p)`` assembled at a pivot entity (Eq. 2).
+
+    ``components`` maps sub-query index → its :class:`PathMatch` (missing
+    indexes were never matched before TA terminated); ``score`` is the
+    match score ``S_m`` — the sum of component pss values, i.e. the lower
+    bound at termination, exact once every sub-query contributed.
+    """
+
+    pivot_uid: int
+    components: Dict[int, PathMatch] = field(default_factory=dict)
+    score: float = 0.0
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every sub-query contributed a component.
+
+        The component dict alone cannot know the sub-query count, so the
+        assembler sets this via ``expected_components``.
+        """
+        return self.expected_components is not None and len(self.components) == self.expected_components
+
+    expected_components: Optional[int] = None
+
+    def add_component(self, match: PathMatch) -> None:
+        existing = self.components.get(match.subquery_index)
+        if existing is None or match.pss > existing.pss:
+            self.components[match.subquery_index] = match
+            self.score = sum(m.pss for m in self.components.values())
+
+    def describe(self, kg: KnowledgeGraph) -> str:
+        entity = kg.entity(self.pivot_uid)
+        parts = "; ".join(
+            m.describe(kg) for _i, m in sorted(self.components.items())
+        )
+        return f"{entity.name}<{entity.etype}> score={self.score:.3f} via {parts}"
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one A* sub-query search."""
+
+    expansions: int = 0
+    states_generated: int = 0
+    pruned_by_tau: int = 0
+    pruned_by_visited: int = 0
+    pruned_by_bound: int = 0
+    goals_emitted: int = 0
+    max_queue_size: int = 0
+    edges_weighted: int = 0
+    nodes_touched: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Aggregate stats across sub-queries (for reporting)."""
+        return SearchStats(
+            expansions=self.expansions + other.expansions,
+            states_generated=self.states_generated + other.states_generated,
+            pruned_by_tau=self.pruned_by_tau + other.pruned_by_tau,
+            pruned_by_visited=self.pruned_by_visited + other.pruned_by_visited,
+            pruned_by_bound=self.pruned_by_bound + other.pruned_by_bound,
+            goals_emitted=self.goals_emitted + other.goals_emitted,
+            max_queue_size=max(self.max_queue_size, other.max_queue_size),
+            edges_weighted=self.edges_weighted + other.edges_weighted,
+            nodes_touched=self.nodes_touched + other.nodes_touched,
+            elapsed_seconds=max(self.elapsed_seconds, other.elapsed_seconds),
+        )
+
+
+@dataclass
+class QueryResult:
+    """Everything a query run returns.
+
+    ``matches`` are the top-k final matches, best first.  ``approximate``
+    is True for TBQ runs (the match set may differ from the global
+    optimum); ``elapsed_seconds`` is the measured system response time.
+    """
+
+    matches: List[FinalMatch]
+    elapsed_seconds: float
+    approximate: bool = False
+    subquery_stats: List[SearchStats] = field(default_factory=list)
+    ta_accesses: int = 0
+    time_bound: Optional[float] = None
+
+    def answer_uids(self) -> List[int]:
+        """The answer entities (pivot matches), best first."""
+        return [match.pivot_uid for match in self.matches]
+
+    def answer_names(self, kg: KnowledgeGraph) -> List[str]:
+        return [kg.entity(uid).name for uid in self.answer_uids()]
+
+    def total_stats(self) -> SearchStats:
+        total = SearchStats()
+        for stats in self.subquery_stats:
+            total = total.merge(stats)
+        return total

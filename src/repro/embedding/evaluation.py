@@ -1,0 +1,97 @@
+"""Link-prediction evaluation for embedding models.
+
+The paper does not report embedding quality directly, but the reproduction
+needs a sanity gauge that training worked (and the test suite asserts it).
+This module implements the standard filtered link-prediction protocol of
+the TransE paper: for each test triple, rank the true tail (head) against
+all corrupted candidates, excluding other known-true triples, and report
+mean rank / mean reciprocal rank / hits@k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.embedding.base import TranslationalModel
+from repro.errors import EmbeddingError
+from repro.kg.triples import Triple
+
+
+@dataclass
+class LinkPredictionResult:
+    """Aggregate ranking metrics over an evaluation triple set."""
+
+    mean_rank: float
+    mean_reciprocal_rank: float
+    hits_at_1: float
+    hits_at_10: float
+    num_evaluated: int
+
+
+def evaluate_link_prediction(
+    model: TranslationalModel,
+    test_triples: Sequence[Triple],
+    known_triples: Sequence[Triple],
+    *,
+    sides: Tuple[str, ...] = ("head", "tail"),
+    max_triples: int = 500,
+) -> LinkPredictionResult:
+    """Filtered link prediction over ``test_triples``.
+
+    ``known_triples`` should contain every true triple (train + test) so
+    that other correct answers do not count as errors ("filtered" setting).
+    ``max_triples`` caps the cost; evaluation uses the first N triples,
+    which is deterministic.
+    """
+    if not test_triples:
+        raise EmbeddingError("no test triples to evaluate")
+    known: Set[Tuple[int, int, int]] = {
+        (t.head, t.relation, t.tail) for t in known_triples
+    }
+    ranks = []
+    entities = np.arange(model.num_entities)
+
+    for triple in list(test_triples)[:max_triples]:
+        for side in sides:
+            if side == "tail":
+                heads = np.full(model.num_entities, triple.head)
+                relations = np.full(model.num_entities, triple.relation)
+                distances = model.distance(heads, relations, entities)
+                true_index = triple.tail
+                mask = np.array(
+                    [
+                        (triple.head, triple.relation, int(e)) in known
+                        and int(e) != triple.tail
+                        for e in entities
+                    ]
+                )
+            elif side == "head":
+                tails = np.full(model.num_entities, triple.tail)
+                relations = np.full(model.num_entities, triple.relation)
+                distances = model.distance(entities, relations, tails)
+                true_index = triple.head
+                mask = np.array(
+                    [
+                        (int(e), triple.relation, triple.tail) in known
+                        and int(e) != triple.head
+                        for e in entities
+                    ]
+                )
+            else:
+                raise EmbeddingError(f"unknown side {side!r}")
+            distances = distances.copy()
+            distances[mask] = np.inf
+            rank = 1 + int(np.sum(distances < distances[true_index]))
+            ranks.append(rank)
+
+    ranks_array = np.array(ranks, dtype=float)
+    return LinkPredictionResult(
+        mean_rank=float(ranks_array.mean()),
+        mean_reciprocal_rank=float((1.0 / ranks_array).mean()),
+        hits_at_1=float((ranks_array <= 1).mean()),
+        hits_at_10=float((ranks_array <= 10).mean()),
+        num_evaluated=len(ranks),
+    )

@@ -1,0 +1,119 @@
+"""The predicate semantic space E = {e1...en} of Section IV-A.
+
+Maps each predicate name to its semantic vector and answers the two
+questions the rest of the system asks:
+
+- ``similarity(a, b)`` — the cosine of Eq. 5, used as semantic-graph edge
+  weights;
+- ``top_similar(p, n)`` — the n most similar predicates, used by the edge-
+  noise experiment (Section VII-E replaces a predicate with one of its
+  top-10 neighbours) and by debugging tools.
+
+Pairwise similarities are memoised: the A* search asks for the same
+(query-predicate, graph-predicate) pair once per touched edge, and graphs
+have few distinct predicates relative to edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import EmbeddingError, UnknownPredicateError
+
+
+class PredicateSpace:
+    """Immutable predicate → unit-vector mapping with cosine queries.
+
+    >>> import numpy as np
+    >>> space = PredicateSpace({"a": np.array([1.0, 0.0]), "b": np.array([1.0, 1.0])})
+    >>> round(space.similarity("a", "b"), 4)
+    0.7071
+    """
+
+    def __init__(self, vectors: Mapping[str, np.ndarray]):
+        if not vectors:
+            raise EmbeddingError("predicate space needs at least one vector")
+        dims = {np.asarray(v).shape for v in vectors.values()}
+        if len(dims) != 1:
+            raise EmbeddingError(f"inconsistent vector shapes: {sorted(dims)}")
+        (shape,) = dims
+        if len(shape) != 1 or shape[0] == 0:
+            raise EmbeddingError("predicate vectors must be non-empty 1-D arrays")
+
+        self._names: List[str] = list(vectors)
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(self._names)}
+        matrix = np.array([np.asarray(vectors[name], dtype=float) for name in self._names])
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        if np.any(norms == 0):
+            raise EmbeddingError("zero-norm predicate vector")
+        self._matrix = matrix / norms
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self._matrix.shape[1]
+
+    def predicates(self) -> List[str]:
+        return list(self._names)
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._index
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def vector(self, predicate: str) -> np.ndarray:
+        """The (unit-normalised) vector of ``predicate``."""
+        try:
+            return self._matrix[self._index[predicate]]
+        except KeyError:
+            raise UnknownPredicateError(predicate) from None
+
+    # ------------------------------------------------------------------
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity (Eq. 5) in [-1, 1]; 1.0 when ``a == b``."""
+        try:
+            ia = self._index[a]
+        except KeyError:
+            raise UnknownPredicateError(a) from None
+        try:
+            ib = self._index[b]
+        except KeyError:
+            raise UnknownPredicateError(b) from None
+        if ia == ib:
+            return 1.0
+        key = (ia, ib) if ia < ib else (ib, ia)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = float(self._matrix[ia] @ self._matrix[ib])
+            self._cache[key] = cached
+        return cached
+
+    def similarities_to(self, predicate: str) -> Dict[str, float]:
+        """Cosine from ``predicate`` to every predicate (including itself)."""
+        row = self._matrix @ self.vector(predicate)
+        return {name: float(row[i]) for i, name in enumerate(self._names)}
+
+    def top_similar(
+        self, predicate: str, n: int = 10, *, include_self: bool = False
+    ) -> List[Tuple[str, float]]:
+        """The ``n`` most similar predicates, best first."""
+        scores = self.similarities_to(predicate)
+        if not include_self:
+            scores.pop(predicate, None)
+        ranked = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:n]
+
+    # ------------------------------------------------------------------
+    def subspace(self, predicates: Iterable[str]) -> "PredicateSpace":
+        """A new space restricted to the given predicates."""
+        return PredicateSpace({name: self.vector(name) for name in predicates})
+
+    def with_vector(self, predicate: str, vector: np.ndarray) -> "PredicateSpace":
+        """A new space with one vector added or replaced."""
+        vectors = {name: self._matrix[i] for name, i in self._index.items()}
+        vectors[predicate] = np.asarray(vector, dtype=float)
+        return PredicateSpace(vectors)

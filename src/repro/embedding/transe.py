@@ -1,0 +1,62 @@
+"""TransE (Bordes et al., NIPS 2013) — the paper's default embedding.
+
+Score: ``d(h, r, t) = || h + r - t ||²``.  Relations that connect similar
+entity neighbourhoods converge to similar translation vectors (the
+``product`` / ``assembly`` example of Fig. 6), which is exactly the signal
+the predicate semantic space needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import TranslationalModel
+
+
+class TransE(TranslationalModel):
+    """Vectorised TransE with squared-L2 distance."""
+
+    name = "TransE"
+
+    def distance(
+        self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray
+    ) -> np.ndarray:
+        delta = (
+            self.entity_vectors[heads]
+            + self.relation_vectors[relations]
+            - self.entity_vectors[tails]
+        )
+        return np.einsum("ij,ij->i", delta, delta)
+
+    def apply_gradients(
+        self,
+        pos: np.ndarray,
+        neg: np.ndarray,
+        violating: np.ndarray,
+        learning_rate: float,
+    ) -> None:
+        if not np.any(violating):
+            return
+        pos = pos[violating]
+        neg = neg[violating]
+
+        pos_delta = (
+            self.entity_vectors[pos[:, 0]]
+            + self.relation_vectors[pos[:, 1]]
+            - self.entity_vectors[pos[:, 2]]
+        )
+        neg_delta = (
+            self.entity_vectors[neg[:, 0]]
+            + self.relation_vectors[neg[:, 1]]
+            - self.entity_vectors[neg[:, 2]]
+        )
+        # dL/d(pos_delta) = +2*delta ; dL/d(neg_delta) = -2*delta
+        step = 2.0 * learning_rate
+        # Positive triple pulls h + r toward t.
+        np.add.at(self.entity_vectors, pos[:, 0], -step * pos_delta)
+        np.add.at(self.relation_vectors, pos[:, 1], -step * pos_delta)
+        np.add.at(self.entity_vectors, pos[:, 2], step * pos_delta)
+        # Negative triple pushes its endpoints apart.
+        np.add.at(self.entity_vectors, neg[:, 0], step * neg_delta)
+        np.add.at(self.relation_vectors, neg[:, 1], step * neg_delta)
+        np.add.at(self.entity_vectors, neg[:, 2], -step * neg_delta)

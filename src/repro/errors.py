@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one type to handle any library
+failure while letting programming errors (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed knowledge-graph operations.
+
+    Examples: adding an edge whose endpoint does not exist, requesting an
+    unknown entity id, or loading a corrupt triple file.
+    """
+
+
+class UnknownEntityError(GraphError):
+    """Raised when an entity id or name is not present in the graph."""
+
+    def __init__(self, key: object):
+        super().__init__(f"unknown entity: {key!r}")
+        self.key = key
+
+
+class UnknownPredicateError(GraphError):
+    """Raised when a predicate is not present in the graph or space."""
+
+    def __init__(self, predicate: str):
+        super().__init__(f"unknown predicate: {predicate!r}")
+        self.predicate = predicate
+
+
+class SchemaError(ReproError):
+    """Raised for invalid domain-schema definitions or generator configs."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed query graphs.
+
+    Examples: a query edge between undeclared nodes, a query graph with no
+    target node, or a sub-query path that is not connected.
+    """
+
+
+class DecompositionError(QueryError):
+    """Raised when a query graph cannot be decomposed into sub-queries."""
+
+
+class EmbeddingError(ReproError):
+    """Raised for embedding-model misuse (untrained model, bad dimensions)."""
+
+
+class SearchError(ReproError):
+    """Raised for invalid search configuration or internal search failure."""
+
+
+class ConfigError(ReproError):
+    """Raised when a :class:`~repro.core.config.SearchConfig` is invalid."""
+
+
+class TimeBudgetError(ReproError):
+    """Raised for invalid time-bound parameters in TBQ."""

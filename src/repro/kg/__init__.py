@@ -1,0 +1,24 @@
+"""Knowledge-graph substrate: storage, triples I/O, schemas, generators."""
+
+from repro.kg.graph import Edge, Entity, KnowledgeGraph
+from repro.kg.paths import Path, PathStep, enumerate_paths
+from repro.kg.schema import DomainSchema, PredicateSpec, SynonymFamily
+from repro.kg.triples import Triple, read_triples, write_triples
+from repro.kg.generator import GeneratorConfig, SyntheticKGBuilder
+
+__all__ = [
+    "Edge",
+    "Entity",
+    "KnowledgeGraph",
+    "Path",
+    "PathStep",
+    "enumerate_paths",
+    "DomainSchema",
+    "PredicateSpec",
+    "SynonymFamily",
+    "Triple",
+    "read_triples",
+    "write_triples",
+    "GeneratorConfig",
+    "SyntheticKGBuilder",
+]

@@ -1,0 +1,21 @@
+"""Query graphs, node matching (φ), decomposition and noise injection."""
+
+from repro.query.model import QueryEdge, QueryGraph, QueryNode, SubQueryGraph
+from repro.query.builder import QueryGraphBuilder
+from repro.query.transform import NodeMatcher, TransformationLibrary
+from repro.query.decompose import Decomposition, decompose_query
+from repro.query.noise import add_edge_noise, add_node_noise
+
+__all__ = [
+    "QueryEdge",
+    "QueryGraph",
+    "QueryNode",
+    "SubQueryGraph",
+    "QueryGraphBuilder",
+    "NodeMatcher",
+    "TransformationLibrary",
+    "Decomposition",
+    "decompose_query",
+    "add_edge_noise",
+    "add_node_noise",
+]

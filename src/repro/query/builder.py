@@ -1,0 +1,64 @@
+"""Fluent construction of query graphs.
+
+The builder keeps example and test code readable and auto-assigns edge
+labels when the caller does not care:
+
+>>> from repro.query.builder import QueryGraphBuilder
+>>> q117 = (QueryGraphBuilder()
+...         .target("v1", "Automobile")
+...         .specific("v2", "Germany", "Country")
+...         .edge("e1", "v1", "product", "v2")
+...         .build())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import QueryError
+from repro.query.model import QueryEdge, QueryGraph, QueryNode
+
+
+class QueryGraphBuilder:
+    """Accumulates nodes and edges, then validates via :class:`QueryGraph`."""
+
+    def __init__(self) -> None:
+        self._nodes: List[QueryNode] = []
+        self._edges: List[QueryEdge] = []
+        self._auto_edge = 0
+
+    def target(self, label: str, etype: Optional[str] = None) -> "QueryGraphBuilder":
+        """Declare a target (?) node with an optional type constraint."""
+        self._nodes.append(QueryNode(label=label, etype=etype, name=None))
+        return self
+
+    def specific(
+        self, label: str, name: str, etype: Optional[str] = None
+    ) -> "QueryGraphBuilder":
+        """Declare a specific node with a known entity name."""
+        if not name:
+            raise QueryError("specific node needs a non-empty name")
+        self._nodes.append(QueryNode(label=label, etype=etype, name=name))
+        return self
+
+    def edge(
+        self,
+        label: Optional[str],
+        source: str,
+        predicate: str,
+        target: str,
+    ) -> "QueryGraphBuilder":
+        """Declare a directed query edge; ``label=None`` auto-assigns."""
+        if label is None:
+            self._auto_edge += 1
+            label = f"e{self._auto_edge}"
+        if not predicate:
+            raise QueryError("query edge needs a non-empty predicate")
+        self._edges.append(
+            QueryEdge(label=label, source=source, predicate=predicate, target=target)
+        )
+        return self
+
+    def build(self) -> QueryGraph:
+        """Validate and return the query graph."""
+        return QueryGraph(self._nodes, self._edges)

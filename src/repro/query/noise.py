@@ -1,0 +1,131 @@
+"""Query noise injection for the robustness experiment (Section VII-E).
+
+Two noise types, exactly as the paper describes:
+
+- **Node noise** — "changing the node name or type with a randomly selected
+  synonym or abbreviation": the transformation library should still recover
+  the intent, so effectiveness degrades only mildly.
+- **Edge noise** — "replacing the predicate with one of its top-10
+  semantically similar predicates in the predicate semantic space": the
+  query intent itself drifts (the paper's designer-for-assembly example),
+  so effectiveness drops faster and search runs longer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.embedding.predicate_space import PredicateSpace
+from repro.errors import QueryError
+from repro.query.model import QueryEdge, QueryGraph, QueryNode
+from repro.query.transform import TransformationLibrary
+from repro.utils.rng import SeedLike, derive_rng
+
+
+def add_node_noise(
+    query: QueryGraph,
+    library: TransformationLibrary,
+    seed: SeedLike = 0,
+) -> QueryGraph:
+    """Replace one node's name or type with a random synonym/abbreviation.
+
+    Nodes that have no registered variants are skipped; if no node is
+    perturbable the query is returned unchanged (the noise experiment
+    counts it as noise-free).
+    """
+    rng = derive_rng(seed, "noise:node")
+    perturbable: List[tuple] = []
+    for node in query.nodes():
+        if node.name is not None:
+            variants = [
+                v for v in library.name_variants(node.name)
+                if v != node.name.replace("_", " ").casefold()
+            ]
+            if variants:
+                perturbable.append((node, "name", variants))
+        if node.etype is not None:
+            variants = [
+                v for v in library.type_variants(node.etype)
+                if v != node.etype.replace("_", " ").casefold()
+            ]
+            if variants:
+                perturbable.append((node, "type", variants))
+    if not perturbable:
+        return query
+    node, field_name, variants = perturbable[int(rng.integers(len(perturbable)))]
+    replacement = variants[int(rng.integers(len(variants)))]
+    if field_name == "name":
+        noisy = QueryNode(label=node.label, etype=node.etype, name=replacement)
+    else:
+        noisy = QueryNode(label=node.label, etype=replacement, name=node.name)
+    return query.replace_node(noisy)
+
+
+def add_edge_noise(
+    query: QueryGraph,
+    space: PredicateSpace,
+    seed: SeedLike = 0,
+    top_n: int = 10,
+) -> QueryGraph:
+    """Replace one edge's predicate with a top-``top_n`` similar predicate.
+
+    Edges whose predicate is unknown to the space are skipped; returns the
+    query unchanged when nothing is perturbable.
+    """
+    if top_n < 1:
+        raise QueryError("top_n must be at least 1")
+    rng = derive_rng(seed, "noise:edge")
+    candidates = [edge for edge in query.edges() if edge.predicate in space]
+    if not candidates:
+        return query
+    edge = candidates[int(rng.integers(len(candidates)))]
+    similar = space.top_similar(edge.predicate, top_n)
+    if not similar:
+        return query
+    replacement, _score = similar[int(rng.integers(len(similar)))]
+    noisy = QueryEdge(
+        label=edge.label, source=edge.source, predicate=replacement, target=edge.target
+    )
+    return query.replace_edge(noisy)
+
+
+def apply_noise_to_workload(
+    queries: Sequence[QueryGraph],
+    *,
+    ratio: float,
+    kind: str,
+    library: Optional[TransformationLibrary] = None,
+    space: Optional[PredicateSpace] = None,
+    seed: SeedLike = 0,
+) -> List[QueryGraph]:
+    """Perturb a random ``ratio`` of the workload (paper: 0%..40%).
+
+    ``kind`` is ``"node"`` or ``"edge"``; the corresponding resource
+    (library / space) must be supplied.
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise QueryError("noise ratio must be in [0, 1]")
+    if kind == "node" and library is None:
+        raise QueryError("node noise requires a transformation library")
+    if kind == "edge" and space is None:
+        raise QueryError("edge noise requires a predicate space")
+    if kind not in ("node", "edge"):
+        raise QueryError(f"unknown noise kind {kind!r}")
+
+    rng = derive_rng(seed, f"noise:workload:{kind}")
+    count = int(round(ratio * len(queries)))
+    chosen = set(
+        int(i) for i in rng.choice(len(queries), size=count, replace=False)
+    ) if count else set()
+
+    noisy: List[QueryGraph] = []
+    for index, query in enumerate(queries):
+        if index not in chosen:
+            noisy.append(query)
+        elif kind == "node":
+            assert library is not None
+            noisy.append(add_node_noise(query, library, seed=derive_rng(seed, f"n{index}")))
+        else:
+            assert space is not None
+            noisy.append(add_edge_noise(query, space, seed=derive_rng(seed, f"e{index}")))
+    return noisy

@@ -1,0 +1,223 @@
+"""Transformation library and node matching (Definition 3 / Section IV-B).
+
+The paper builds a "synonym and abbreviation transformation library for all
+types and names existing in G on the basis of BabelNet" (Table III).  We
+cannot ship BabelNet, so the library is seeded from the
+:class:`~repro.kg.schema.SynonymFamily` records of the dataset schema —
+the same synonym/abbreviation families the workloads use when they phrase
+queries as ``Car`` instead of ``Automobile`` or ``GER`` instead of
+``Germany``.
+
+Matching is the paper's three-case relation φ:
+
+1. **Identical** — equal after normalisation (case folding and treating
+   ``_`` like a space, so ``Audi TT`` matches ``Audi_TT``);
+2. **Synonym** — both sides canonicalise to the same family head;
+3. **Abbreviation** — ditto (families keep abbreviations separately so the
+   two cases can be distinguished in explanations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.schema import DomainSchema, SynonymFamily
+from repro.query.model import QueryNode
+
+MATCH_IDENTICAL = "identical"
+MATCH_SYNONYM = "synonym"
+MATCH_ABBREVIATION = "abbreviation"
+
+
+def normalize_label(text: str) -> str:
+    """Case-/separator-insensitive canonical form of a name or type."""
+    return text.replace("_", " ").strip().casefold()
+
+
+class TransformationLibrary:
+    """Bidirectional synonym/abbreviation lookup for types and names."""
+
+    def __init__(self) -> None:
+        # normalized surface form -> (canonical, match kind)
+        self._types: Dict[str, Tuple[str, str]] = {}
+        self._names: Dict[str, Tuple[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    def add_family(self, family: SynonymFamily) -> None:
+        """Register one synonym family (kind 'type' or 'name')."""
+        if family.kind not in ("type", "name"):
+            raise QueryError(f"unknown synonym family kind {family.kind!r}")
+        table = self._types if family.kind == "type" else self._names
+        canonical = family.canonical
+        table[normalize_label(canonical)] = (canonical, MATCH_IDENTICAL)
+        for synonym in family.synonyms:
+            table.setdefault(normalize_label(synonym), (canonical, MATCH_SYNONYM))
+        for abbreviation in family.abbreviations:
+            table.setdefault(
+                normalize_label(abbreviation), (canonical, MATCH_ABBREVIATION)
+            )
+
+    @classmethod
+    def from_schema(cls, schema: DomainSchema) -> "TransformationLibrary":
+        """Build the library from a dataset schema's synonym families."""
+        library = cls()
+        for family in schema.synonym_families:
+            library.add_family(family)
+        return library
+
+    @classmethod
+    def empty(cls) -> "TransformationLibrary":
+        """A library with no families: only identical matches succeed."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    def _canonicalize(self, table: Dict[str, Tuple[str, str]], text: str) -> Tuple[str, str]:
+        normalized = normalize_label(text)
+        entry = table.get(normalized)
+        if entry is None:
+            return normalized, MATCH_IDENTICAL
+        canonical, kind = entry
+        return normalize_label(canonical), kind
+
+    def match_type(self, query_type: str, kg_type: str) -> Optional[str]:
+        """Match kind if the types are φ-related, else ``None``."""
+        canon_query, kind_query = self._canonicalize(self._types, query_type)
+        canon_kg, _kind_kg = self._canonicalize(self._types, kg_type)
+        if canon_query != canon_kg:
+            return None
+        if kind_query == MATCH_IDENTICAL and normalize_label(query_type) == normalize_label(kg_type):
+            return MATCH_IDENTICAL
+        return kind_query if kind_query != MATCH_IDENTICAL else MATCH_SYNONYM
+
+    def match_name(self, query_name: str, kg_name: str) -> Optional[str]:
+        """Match kind if the names are φ-related, else ``None``."""
+        canon_query, kind_query = self._canonicalize(self._names, query_name)
+        canon_kg, _kind_kg = self._canonicalize(self._names, kg_name)
+        if canon_query != canon_kg:
+            return None
+        if kind_query == MATCH_IDENTICAL and normalize_label(query_name) == normalize_label(kg_name):
+            return MATCH_IDENTICAL
+        return kind_query if kind_query != MATCH_IDENTICAL else MATCH_SYNONYM
+
+    def type_variants(self, etype: str) -> List[str]:
+        """All surface forms that map to the same canonical type."""
+        canon, _ = self._canonicalize(self._types, etype)
+        return [
+            surface
+            for surface, (canonical, _kind) in self._types.items()
+            if normalize_label(canonical) == canon
+        ]
+
+    def name_variants(self, name: str) -> List[str]:
+        """All surface forms that map to the same canonical name."""
+        canon, _ = self._canonicalize(self._names, name)
+        return [
+            surface
+            for surface, (canonical, _kind) in self._names.items()
+            if normalize_label(canonical) == canon
+        ]
+
+
+class NodeMatcher:
+    """The node-match relation φ: query node → candidate entity ids.
+
+    Results are memoised per query node signature; the same query node is
+    looked up by decomposition, by every sub-query search and by assembly.
+    """
+
+    def __init__(self, kg: KnowledgeGraph, library: Optional[TransformationLibrary] = None):
+        self.kg = kg
+        self.library = library if library is not None else TransformationLibrary.empty()
+        self._cache: Dict[Tuple[Optional[str], Optional[str]], List[int]] = {}
+        # Normalised-name index over the graph (built lazily once).
+        self._name_index: Optional[Dict[str, List[int]]] = None
+        self._type_index: Optional[Dict[str, List[str]]] = None
+
+    def _normalized_name_index(self) -> Dict[str, List[int]]:
+        if self._name_index is None:
+            index: Dict[str, List[int]] = {}
+            for entity in self.kg.entities():
+                index.setdefault(normalize_label(entity.name), []).append(entity.uid)
+            self._name_index = index
+        return self._name_index
+
+    def _types_by_canonical(self) -> Dict[str, List[str]]:
+        if self._type_index is None:
+            index: Dict[str, List[str]] = {}
+            for etype in self.kg.types():
+                canon, _ = self.library._canonicalize(self.library._types, etype)
+                index.setdefault(canon, []).append(etype)
+            self._type_index = index
+        return self._type_index
+
+    # ------------------------------------------------------------------
+    def matches(self, node: QueryNode) -> List[int]:
+        """Candidate entity ids for a query node (Def. 3's φ(v)).
+
+        Specific nodes match by name (identical/synonym/abbreviation), then
+        filter by type when the query constrains it.  Target nodes match by
+        type alone; an untyped target matches every entity.
+        """
+        key = (node.name, node.etype)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return list(cached)
+
+        if node.is_specific:
+            assert node.name is not None
+            candidates: List[int] = []
+            for surface in self._surface_names(node.name):
+                candidates.extend(self._normalized_name_index().get(surface, []))
+            if node.etype is not None:
+                candidates = [
+                    uid
+                    for uid in candidates
+                    if self.library.match_type(node.etype, self.kg.entity(uid).etype)
+                ]
+            result = sorted(set(candidates))
+        elif node.etype is not None:
+            result = []
+            for kg_type in self._kg_types_for(node.etype):
+                result.extend(self.kg.entities_of_type(kg_type))
+            result = sorted(set(result))
+        else:
+            result = [entity.uid for entity in self.kg.entities()]
+
+        self._cache[key] = result
+        return list(result)
+
+    def _surface_names(self, query_name: str) -> List[str]:
+        """Normalised name forms to probe in the graph index."""
+        forms = {normalize_label(query_name)}
+        canon, _ = self.library._canonicalize(self.library._names, query_name)
+        forms.add(canon)
+        forms.update(self.library.name_variants(query_name))
+        return sorted(forms)
+
+    def _kg_types_for(self, query_type: str) -> List[str]:
+        canon, _ = self.library._canonicalize(self.library._types, query_type)
+        return self._types_by_canonical().get(canon, [])
+
+    def match_count(self, node: QueryNode) -> int:
+        """``len(matches(node))`` without copying the cached list."""
+        key = (node.name, node.etype)
+        if key not in self._cache:
+            self.matches(node)
+        return len(self._cache[key])
+
+    def is_match(self, node: QueryNode, uid: int) -> bool:
+        """Whether a specific entity is a φ-match of the query node.
+
+        Used on the search's hot path (goal tests), so it avoids scanning
+        the full candidate list for target nodes.
+        """
+        entity = self.kg.entity(uid)
+        if node.etype is not None and not self.library.match_type(node.etype, entity.etype):
+            return False
+        if node.is_specific:
+            assert node.name is not None
+            return normalize_label(entity.name) in set(self._surface_names(node.name))
+        return True

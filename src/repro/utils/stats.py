@@ -1,0 +1,82 @@
+"""Statistics helpers shared by scoring and evaluation code.
+
+The geometric mean here is the exact form of Eq. 6 in the paper (path
+semantic similarity), computed in log space to avoid underflow on long
+paths; the Pearson correlation implements the user-study metric of Section
+VII-D.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 0.0 if any value is <= 0.
+
+    The paper's weights are cosine similarities clamped into [0, 1]; a zero
+    weight means "semantically unrelated", which collapses the whole path
+    score to zero rather than raising.
+
+    >>> round(geometric_mean([0.5, 0.5]), 6)
+    0.5
+    >>> geometric_mean([1.0, 0.0])
+    0.0
+    """
+    log_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0.0:
+            return 0.0
+        log_sum += math.log(value)
+        count += 1
+    if count == 0:
+        raise ValueError("geometric_mean of an empty sequence")
+    return math.exp(log_sum / count)
+
+
+def nth_root_product(values: Iterable[float], n: int) -> float:
+    """``(prod values) ** (1/n)`` in log space; 0.0 if any value <= 0.
+
+    This is the estimated-pss form of Eq. 7, where the root order ``n`` (the
+    user-desired path length bound) can exceed the number of factors.
+    """
+    if n <= 0:
+        raise ValueError("root order must be positive")
+    log_sum = 0.0
+    for value in values:
+        if value <= 0.0:
+            return 0.0
+        log_sum += math.log(value)
+    return math.exp(log_sum / n)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises :class:`ValueError` on empty input."""
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length lists.
+
+    Returns 0.0 when either list has zero variance (the convention used by
+    the user-study evaluation, where a constant preference list carries no
+    ranking signal).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("pearson_correlation requires equal-length inputs")
+    if len(xs) < 2:
+        raise ValueError("pearson_correlation requires at least two points")
+    mx = mean(xs)
+    my = mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    var_x = sum((x - mx) ** 2 for x in xs)
+    var_y = sum((y - my) ** 2 for y in ys)
+    denominator = math.sqrt(var_x) * math.sqrt(var_y)
+    if denominator == 0.0:
+        # Either list is constant (or its variance underflowed): no signal.
+        return 0.0
+    return cov / denominator

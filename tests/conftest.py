@@ -1,0 +1,93 @@
+"""Shared fixtures: hand-built micro graphs and small generated bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import load_bundle
+from repro.embedding.predicate_space import PredicateSpace
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.schema import dbpedia_like_schema
+from repro.query.transform import NodeMatcher, TransformationLibrary
+
+
+def _unit(vector):
+    array = np.asarray(vector, dtype=float)
+    return array / np.linalg.norm(array)
+
+
+@pytest.fixture(scope="session")
+def fig2_space() -> PredicateSpace:
+    """A tiny predicate space with hand-chosen cosines (Fig. 2 flavour).
+
+    Cosines to ``product``: assembly ≈ 0.98, country ≈ 0.91, designer ≈
+    0.85, nationality ≈ 0.81, engine ≈ 0.84, language ≈ 0.05 (these are
+    built geometrically, so exact values are asserted in tests via
+    ``space.similarity`` itself, not recomputed by hand).
+    """
+
+    def mix(primary: float, index: int) -> np.ndarray:
+        # vectors in R^8: share the first axis with `product` by `primary`,
+        # remainder on a private axis -> cosine == primary exactly.
+        vector = np.zeros(8)
+        vector[0] = primary
+        vector[index] = np.sqrt(1.0 - primary**2)
+        return vector
+
+    return PredicateSpace(
+        {
+            "product": _unit([1, 0, 0, 0, 0, 0, 0, 0]),
+            "assembly": mix(0.98, 1),
+            "country": mix(0.91, 2),
+            "designer": mix(0.85, 3),
+            "nationality": mix(0.81, 4),
+            "engine": mix(0.84, 5),
+            "language": mix(0.05, 6),
+        }
+    )
+
+
+@pytest.fixture()
+def fig2_kg() -> KnowledgeGraph:
+    """The running-example knowledge graph of Fig. 2.
+
+    Audi_TT -assembly-> Germany;  Lamando -engine-> EA211 (device);
+    KIA_K5 -designer-> Peter_Schreyer -nationality-> Germany;
+    Volkswagen -product-> Lamando;  Germany -language-> German.
+    """
+    kg = KnowledgeGraph("fig2")
+    audi = kg.add_entity("Audi_TT", "Automobile")
+    lamando = kg.add_entity("Lamando", "Automobile")
+    kia = kg.add_entity("KIA_K5", "Automobile")
+    germany = kg.add_entity("Germany", "Country")
+    engine = kg.add_entity("EA211_l4_TSI", "Engine")
+    designer = kg.add_entity("Peter_Schreyer", "Person")
+    vw = kg.add_entity("Volkswagen", "Company")
+    german = kg.add_entity("German", "Language")
+
+    kg.add_edge(audi.uid, "assembly", germany.uid)
+    kg.add_edge(lamando.uid, "engine", engine.uid)
+    kg.add_edge(kia.uid, "designer", designer.uid)
+    kg.add_edge(designer.uid, "nationality", germany.uid)
+    kg.add_edge(vw.uid, "product", lamando.uid)
+    kg.add_edge(germany.uid, "language", german.uid)
+    return kg
+
+
+@pytest.fixture()
+def fig2_matcher(fig2_kg) -> NodeMatcher:
+    library = TransformationLibrary.from_schema(dbpedia_like_schema())
+    return NodeMatcher(fig2_kg, library)
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    """A small DBpedia-like bundle shared by integration-ish tests."""
+    return load_bundle("dbpedia", scale=1.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_bundle():
+    """A medium DBpedia-like bundle (used where truth sizes matter)."""
+    return load_bundle("dbpedia", scale=3.0, seed=1)

@@ -1,0 +1,131 @@
+"""Tests for TA-based assembly (Section V-C, Theorem 3)."""
+
+import pytest
+
+from repro.core.assembly import AssemblyResult, MatchStream, assemble_top_k
+from repro.core.results import PathMatch
+from repro.errors import SearchError
+from repro.kg.paths import Path
+
+
+def match(subquery_index, pivot, pss):
+    return PathMatch(
+        subquery_index=subquery_index,
+        path=Path.single_node(pivot),
+        pivot_uid=pivot,
+        pss=pss,
+    )
+
+
+def figure10_streams():
+    """The Fig. 10 example: two match sets assembled at pivot matches.
+
+    M1: u2=0.98, u1=0.82, u3=0.71, u4=0.52
+    M2: u1=1.0(wait, Fig 10 uses 1.0? values approximated), u2=0.77...
+    We use values that reproduce the early-termination situation.
+    """
+    m1 = [match(0, 2, 0.98), match(0, 1, 0.82), match(0, 3, 0.71), match(0, 4, 0.52)]
+    m2 = [match(1, 1, 0.89), match(1, 2, 0.77), match(1, 4, 0.58), match(1, 3, 0.40)]
+    return [MatchStream.from_list(m1), MatchStream.from_list(m2)]
+
+
+class TestMatchStream:
+    def test_from_list_sorts_descending(self):
+        stream = MatchStream.from_list([match(0, 1, 0.5), match(0, 2, 0.9)])
+        assert stream.next().pss == 0.9
+        assert stream.next().pss == 0.5
+
+    def test_exhaustion(self):
+        stream = MatchStream.from_list([match(0, 1, 0.5)])
+        stream.next()
+        assert stream.next() is None
+        assert stream.exhausted
+        assert stream.current_pss == 0.0
+
+    def test_current_pss_before_access_is_one(self):
+        stream = MatchStream.from_list([match(0, 1, 0.5)])
+        assert stream.current_pss == 1.0
+
+    def test_unsorted_pull_rejected(self):
+        pulls = iter([match(0, 1, 0.5), match(0, 2, 0.9)])
+        stream = MatchStream(lambda: next(pulls, None))
+        stream.next()
+        with pytest.raises(SearchError):
+            stream.next()
+
+
+class TestAssembly:
+    def test_top1_is_best_joint_score(self):
+        result = assemble_top_k(figure10_streams(), k=1)
+        assert result.matches[0].pivot_uid in (1, 2)
+        # u2: 0.98 + 0.77 = 1.75; u1: 0.82 + 0.89 = 1.71 -> u2 wins.
+        assert result.matches[0].pivot_uid == 2
+        assert result.matches[0].score == pytest.approx(1.75)
+
+    def test_top2_matches_fig10(self):
+        result = assemble_top_k(figure10_streams(), k=2)
+        assert [m.pivot_uid for m in result.matches] == [2, 1]
+        assert result.matches[1].score == pytest.approx(0.82 + 0.89)
+
+    def test_early_termination_skips_accesses(self):
+        eager = assemble_top_k(figure10_streams(), k=2)
+        exhaustive = assemble_top_k(figure10_streams(), k=2, exhaustive=True)
+        assert eager.terminated_early
+        assert eager.accesses < exhaustive.accesses
+
+    def test_exhaustive_equals_early_result(self):
+        """Theorem 3: early termination returns exactly the true top-k."""
+        eager = assemble_top_k(figure10_streams(), k=2)
+        exhaustive = assemble_top_k(figure10_streams(), k=2, exhaustive=True)
+        assert [m.pivot_uid for m in eager.matches] == [
+            m.pivot_uid for m in exhaustive.matches
+        ]
+        for a, b in zip(eager.matches, exhaustive.matches):
+            assert a.score == pytest.approx(b.score)
+
+    def test_components_recorded(self):
+        result = assemble_top_k(figure10_streams(), k=1)
+        top = result.matches[0]
+        assert set(top.components) == {0, 1}
+        assert top.is_complete
+
+    def test_single_stream_needs_k_accesses_plus_termination(self):
+        stream = MatchStream.from_list([match(0, i, 1.0 - i * 0.1) for i in range(8)])
+        result = assemble_top_k([stream], k=3)
+        assert len(result.matches) == 3
+        assert result.accesses <= 4  # k pulls + at most one extra round
+
+    def test_fewer_matches_than_k(self):
+        stream = MatchStream.from_list([match(0, 1, 0.9)])
+        result = assemble_top_k([stream], k=5)
+        assert len(result.matches) == 1
+
+    def test_incomplete_candidates_rank_below_complete(self):
+        m1 = [match(0, 1, 0.9), match(0, 2, 0.8)]
+        m2 = [match(1, 1, 0.9)]  # pivot 2 never matched in stream 2
+        result = assemble_top_k(
+            [MatchStream.from_list(m1), MatchStream.from_list(m2)], k=2
+        )
+        assert result.matches[0].pivot_uid == 1
+        assert result.matches[0].is_complete
+        assert not result.matches[1].is_complete
+
+    def test_duplicate_pivot_in_stream_keeps_best(self):
+        m1 = [match(0, 1, 0.9), match(0, 1, 0.7)]
+        result = assemble_top_k([MatchStream.from_list(m1)], k=1, exhaustive=True)
+        assert result.matches[0].score == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            assemble_top_k([], k=1)
+        with pytest.raises(SearchError):
+            assemble_top_k(figure10_streams(), k=0)
+
+    def test_max_rounds_cap(self):
+        result = assemble_top_k(figure10_streams(), k=4, max_rounds=1, exhaustive=True)
+        assert result.accesses == 2  # one access per stream
+
+    def test_ties_break_by_pivot_uid(self):
+        m1 = [match(0, 5, 0.8), match(0, 3, 0.8)]
+        result = assemble_top_k([MatchStream.from_list(m1)], k=2, exhaustive=True)
+        assert [m.pivot_uid for m in result.matches] == [3, 5]

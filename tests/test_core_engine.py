@@ -1,0 +1,215 @@
+"""Tests for the engine, TBQ (Algorithms 2-3) and config validation."""
+
+import pytest
+
+from repro.bench.metrics import jaccard
+from repro.core.config import PssMode, SearchConfig, VisitedPolicy
+from repro.core.engine import SemanticGraphQueryEngine
+from repro.core.time_bounded import (
+    TimeBoundedCoordinator,
+    calibrate_assembly_seconds_per_match,
+)
+from repro.embedding.oracle import oracle_predicate_space
+from repro.errors import ConfigError, SearchError, TimeBudgetError
+from repro.kg.generator import build_dataset
+from repro.kg.schema import dbpedia_like_schema
+from repro.query.builder import QueryGraphBuilder
+from repro.query.transform import TransformationLibrary
+from repro.utils.timing import BudgetClock
+
+
+@pytest.fixture(scope="module")
+def engine():
+    schema = dbpedia_like_schema()
+    kg = build_dataset("dbpedia", seed=4, scale=1.0)
+    space = oracle_predicate_space(schema, seed=3)
+    library = TransformationLibrary.from_schema(schema)
+    return SemanticGraphQueryEngine(kg, space, library)
+
+
+def product_query():
+    return (
+        QueryGraphBuilder()
+        .target("v1", "Automobile")
+        .specific("v2", "Germany", "Country")
+        .edge("e1", "v1", "product", "v2")
+        .build()
+    )
+
+
+def chain_query():
+    return (
+        QueryGraphBuilder()
+        .target("v1", "Automobile")
+        .specific("v2", "China", "Country")
+        .target("v3", "Engine")
+        .specific("v4", "Germany", "Country")
+        .edge("e1", "v1", "assembly", "v2")
+        .edge("e2", "v1", "engine", "v3")
+        .edge("e3", "v3", "manufacturer", "v4")
+        .build()
+    )
+
+
+class TestSearchConfig:
+    def test_paper_defaults(self):
+        config = SearchConfig()
+        assert config.tau == 0.8
+        assert config.path_bound == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tau": 1.5},
+            {"tau": -0.1},
+            {"path_bound": 0},
+            {"min_weight": 2.0},
+            {"max_expansions": 0},
+            {"assembly_seconds_per_match": -1},
+            {"alert_ratio": 0.0},
+            {"alert_ratio": 1.2},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            SearchConfig(**kwargs)
+
+
+class TestSGQEngine:
+    def test_simple_query_returns_ranked_answers(self, engine):
+        result = engine.search(product_query(), k=10)
+        assert len(result.matches) <= 10
+        scores = [m.score for m in result.matches]
+        assert scores == sorted(scores, reverse=True)
+        assert not result.approximate
+        assert result.elapsed_seconds > 0
+
+    def test_answers_are_automobiles(self, engine):
+        result = engine.search(product_query(), k=10)
+        for uid in result.answer_uids():
+            assert engine.kg.entity(uid).etype == "Automobile"
+
+    def test_answer_names_align(self, engine):
+        result = engine.search(product_query(), k=5)
+        names = result.answer_names(engine.kg)
+        assert names == [engine.kg.entity(u).name for u in result.answer_uids()]
+
+    def test_chain_query_assembles_components(self, engine):
+        result = engine.search(chain_query(), k=8)
+        assert result.subquery_stats and len(result.subquery_stats) == 2
+        assert result.ta_accesses > 0
+
+    def test_k_validation(self, engine):
+        with pytest.raises(SearchError):
+            engine.search(product_query(), k=0)
+        with pytest.raises(SearchError):
+            engine.search_time_bounded(product_query(), k=0, time_bound=1.0)
+
+    def test_forced_pivot_changes_decomposition(self, engine):
+        default = engine.decompose(chain_query())
+        forced = engine.decompose(chain_query(), pivot="v3")
+        assert default.pivot_label != forced.pivot_label or default is not forced
+
+    def test_exhaustive_assembly_same_topk(self, engine):
+        fast = engine.search(product_query(), k=5)
+        slow = engine.search(product_query(), k=5, exhaustive_assembly=True)
+        assert fast.answer_uids() == slow.answer_uids()
+
+    def test_total_stats_aggregates(self, engine):
+        result = engine.search(chain_query(), k=5)
+        total = result.total_stats()
+        assert total.expansions == sum(
+            s.expansions for s in result.subquery_stats
+        )
+
+    def test_reused_decomposition(self, engine):
+        decomposition = engine.decompose(product_query())
+        result = engine.search(product_query(), k=3, decomposition=decomposition)
+        assert result.matches
+
+    def test_arithmetic_scoring_mode_runs(self):
+        schema = dbpedia_like_schema()
+        kg = build_dataset("dbpedia", seed=4, scale=0.5)
+        engine = SemanticGraphQueryEngine(
+            kg,
+            oracle_predicate_space(schema, seed=3),
+            TransformationLibrary.from_schema(schema),
+            SearchConfig(scoring=PssMode.ARITHMETIC),
+        )
+        result = engine.search(product_query(), k=5)
+        assert result.matches
+
+
+class TestTBQ:
+    def test_result_flagged_approximate(self, engine):
+        result = engine.search_time_bounded(product_query(), k=5, time_bound=0.5)
+        assert result.approximate
+        assert result.time_bound == 0.5
+
+    def test_generous_bound_converges_to_sgq(self, engine):
+        """Theorem 4 endpoint: with enough time, M̂ = M."""
+        exact = engine.search(product_query(), k=10)
+        approx = engine.search_time_bounded(product_query(), k=10, time_bound=30.0)
+        assert jaccard(exact.answer_uids(), approx.answer_uids()) == 1.0
+
+    def test_budget_clock_is_deterministic(self, engine):
+        results = []
+        for _run in range(2):
+            clock = BudgetClock(seconds_per_tick=0.001)
+            result = engine.search_time_bounded(
+                product_query(), k=10, time_bound=0.05, clock=clock
+            )
+            results.append(result.answer_uids())
+        assert results[0] == results[1]
+
+    def test_tighter_budget_never_beats_looser(self, engine):
+        """Theorem 4 monotonicity under the deterministic clock."""
+        exact = set(engine.search(product_query(), k=10).answer_uids())
+        overlaps = []
+        for ticks in (0.02, 0.2, 5.0):
+            clock = BudgetClock(seconds_per_tick=0.001)
+            result = engine.search_time_bounded(
+                product_query(), k=10, time_bound=ticks, clock=clock
+            )
+            overlaps.append(jaccard(set(result.answer_uids()), exact))
+        assert overlaps == sorted(overlaps)
+        assert overlaps[-1] == 1.0
+
+    def test_time_bound_validation(self, engine):
+        with pytest.raises(TimeBudgetError):
+            engine.search_time_bounded(product_query(), k=3, time_bound=0.0)
+
+    def test_coordinator_validation(self):
+        with pytest.raises(TimeBudgetError):
+            TimeBoundedCoordinator([], 1.0, SearchConfig())
+
+    def test_wall_clock_respects_bound_roughly(self, engine):
+        bound = 0.05
+        result = engine.search_time_bounded(chain_query(), k=10, time_bound=bound)
+        # Fig. 15(b): the response time stays within a small variation of
+        # the bound; allow generous slack for CI jitter.
+        assert result.elapsed_seconds < bound * 3
+
+    def test_calibration_positive(self):
+        t = calibrate_assembly_seconds_per_match(500)
+        assert t > 0
+
+    def test_calibration_validates(self):
+        with pytest.raises(TimeBudgetError):
+            calibrate_assembly_seconds_per_match(5)
+
+
+class TestVisitedPolicyAblation:
+    def test_expand_recall_superset(self, engine):
+        """EXPAND finds every answer GENERATE finds (and usually more)."""
+        results = {}
+        for policy in VisitedPolicy:
+            config = SearchConfig(visited_policy=policy)
+            eng = SemanticGraphQueryEngine(
+                engine.kg, engine.space, None, config
+            )
+            eng.matcher = engine.matcher
+            results[policy] = set(eng.search(product_query(), k=200).answer_uids())
+        assert len(results[VisitedPolicy.EXPAND]) >= len(
+            results[VisitedPolicy.GENERATE]
+        )

@@ -1,0 +1,273 @@
+"""Tests for embedding models, trainer, predicate space and oracle."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.embedding.base import TranslationalModel, normalize_rows
+from repro.embedding.evaluation import evaluate_link_prediction
+from repro.embedding.negative_sampling import NegativeSampler
+from repro.embedding.oracle import oracle_predicate_space
+from repro.embedding.predicate_space import PredicateSpace
+from repro.embedding.trainer import EmbeddingTrainer, TrainingConfig
+from repro.embedding.transe import TransE
+from repro.embedding.transh import TransH
+from repro.embedding.transr import TransR
+from repro.errors import EmbeddingError, UnknownPredicateError
+from repro.kg.generator import build_dataset
+from repro.kg.schema import dbpedia_like_schema
+from repro.kg.triples import Triple, graph_to_id_triples
+
+MODELS = [TransE, TransH, TransR]
+
+
+class TestModelBasics:
+    @pytest.mark.parametrize("model_class", MODELS)
+    def test_distance_shape_and_positivity(self, model_class):
+        model = model_class(num_entities=10, num_relations=3, dim=8, seed=0)
+        heads = np.array([0, 1, 2])
+        rels = np.array([0, 1, 2])
+        tails = np.array([3, 4, 5])
+        distances = model.distance(heads, rels, tails)
+        assert distances.shape == (3,)
+        assert np.all(distances >= 0)
+
+    @pytest.mark.parametrize("model_class", MODELS)
+    def test_gradient_step_reduces_positive_distance(self, model_class):
+        model = model_class(num_entities=8, num_relations=2, dim=8, seed=1)
+        pos = np.array([[0, 0, 1]])
+        # Disjoint corrupted triple so its push-apart gradient cannot fight
+        # the positive pull on shared parameters.
+        neg = np.array([[3, 1, 4]])
+        before = model.distance(pos[:, 0], pos[:, 1], pos[:, 2])[0]
+        for _ in range(30):
+            model.apply_gradients(pos, neg, np.array([True]), learning_rate=0.02)
+            model.post_batch()
+        after = model.distance(pos[:, 0], pos[:, 1], pos[:, 2])[0]
+        assert after < before
+
+    @pytest.mark.parametrize("model_class", MODELS)
+    def test_no_update_when_nothing_violates(self, model_class):
+        model = model_class(num_entities=6, num_relations=2, dim=4, seed=1)
+        snapshot = model.entity_vectors.copy()
+        model.apply_gradients(
+            np.array([[0, 0, 1]]), np.array([[0, 0, 2]]), np.array([False]), 0.1
+        )
+        assert np.allclose(model.entity_vectors, snapshot)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(EmbeddingError):
+            TransE(num_entities=0, num_relations=1, dim=4)
+        with pytest.raises(EmbeddingError):
+            TransE(num_entities=1, num_relations=1, dim=0)
+
+    def test_relation_vector_bounds(self):
+        model = TransE(num_entities=2, num_relations=2, dim=4)
+        with pytest.raises(EmbeddingError):
+            model.relation_vector(5)
+
+    def test_memory_accounting(self):
+        model = TransE(num_entities=10, num_relations=5, dim=16)
+        assert model.parameter_count() == (10 + 5) * 16
+        assert model.memory_bytes() == model.parameter_count() * 8
+
+    def test_transr_counts_projections(self):
+        model = TransR(num_entities=4, num_relations=3, dim=8)
+        assert model.parameter_count() == (4 + 3) * 8 + 3 * 8 * 8
+
+    def test_normalize_rows_handles_zero(self):
+        matrix = np.array([[3.0, 4.0], [0.0, 0.0]])
+        normalize_rows(matrix)
+        assert np.linalg.norm(matrix[0]) == pytest.approx(1.0)
+        assert np.all(matrix[1] == 0)
+
+
+class TestNegativeSampler:
+    @pytest.fixture()
+    def triples(self):
+        return [Triple(0, 0, 1), Triple(1, 0, 2), Triple(2, 1, 3), Triple(3, 1, 0)]
+
+    def test_corrupts_exactly_one_side(self, triples):
+        sampler = NegativeSampler(triples, num_entities=10, seed=0)
+        batch = np.array([[t.head, t.relation, t.tail] for t in triples])
+        negatives = sampler.corrupt(batch)
+        for row, neg in zip(batch, negatives):
+            changed = (row[0] != neg[0], row[2] != neg[2])
+            assert row[1] == neg[1]
+            assert sum(changed) <= 1  # may coincidentally redraw same id
+
+    def test_bern_strategy_builds_table(self, triples):
+        sampler = NegativeSampler(triples, num_entities=10, strategy="bern", seed=0)
+        assert set(sampler._head_probability) == {0, 1}
+        assert all(0 < p < 1 for p in sampler._head_probability.values())
+
+    def test_rejects_unknown_strategy(self, triples):
+        with pytest.raises(EmbeddingError):
+            NegativeSampler(triples, 10, strategy="magic")
+
+    def test_rejects_empty_triples(self):
+        with pytest.raises(EmbeddingError):
+            NegativeSampler([], 10)
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def kg(self):
+        return build_dataset("dbpedia", seed=2, scale=0.3)
+
+    def test_loss_decreases(self, kg):
+        trainer = EmbeddingTrainer(
+            kg, TrainingConfig(dim=16, epochs=12, batch_size=128, learning_rate=0.05)
+        )
+        _model, report = trainer.train(TransE)
+        assert report.final_loss < report.loss_history[0] * 0.7
+
+    def test_report_metadata(self, kg):
+        trainer = EmbeddingTrainer(kg, TrainingConfig(dim=8, epochs=2))
+        model, report = trainer.train(TransE)
+        assert report.model_name == "TransE"
+        assert report.num_triples == len(trainer.triples)
+        assert report.seconds > 0
+        assert report.memory_bytes == model.memory_bytes()
+
+    def test_predicate_space_export(self, kg):
+        trainer = EmbeddingTrainer(kg, TrainingConfig(dim=8, epochs=1))
+        model, _report = trainer.train(TransE)
+        space = trainer.predicate_space(model)
+        assert set(space.predicates()) == set(kg.predicates())
+
+    def test_same_type_pair_predicates_closer_than_random(self, kg):
+        """TransE recovers that predicates sharing endpoint types are
+        more similar than unrelated predicate pairs, on average."""
+        trainer = EmbeddingTrainer(
+            kg, TrainingConfig(dim=32, epochs=25, batch_size=128, learning_rate=0.05)
+        )
+        model, _ = trainer.train(TransE)
+        space = trainer.predicate_space(model)
+        schema = dbpedia_like_schema()
+        spec = {p.name: p for p in schema.predicates if p.name in space.predicates()}
+        same_pair, cross_pair = [], []
+        for a, b in itertools.combinations(spec.values(), 2):
+            sim = space.similarity(a.name, b.name)
+            if (a.source_type, a.target_type) == (b.source_type, b.target_type):
+                same_pair.append(sim)
+            else:
+                cross_pair.append(sim)
+        assert np.mean(same_pair) > np.mean(cross_pair)
+
+    def test_config_validation(self):
+        with pytest.raises(EmbeddingError):
+            TrainingConfig(dim=0)
+        with pytest.raises(EmbeddingError):
+            TrainingConfig(learning_rate=0)
+
+    def test_link_prediction_better_than_random(self, kg):
+        trainer = EmbeddingTrainer(
+            kg, TrainingConfig(dim=32, epochs=25, batch_size=128, learning_rate=0.05)
+        )
+        model, _ = trainer.train(TransE)
+        triples, _ = graph_to_id_triples(kg)
+        result = evaluate_link_prediction(
+            model, triples[:60], triples, max_triples=60
+        )
+        random_mean_rank = kg.num_entities / 2
+        assert result.mean_rank < random_mean_rank * 0.7
+        assert 0 <= result.hits_at_10 <= 1
+
+    def test_link_prediction_empty_raises(self, kg):
+        trainer = EmbeddingTrainer(kg, TrainingConfig(dim=8, epochs=1))
+        model, _ = trainer.train(TransE)
+        with pytest.raises(EmbeddingError):
+            evaluate_link_prediction(model, [], [])
+
+
+class TestPredicateSpace:
+    def test_self_similarity_is_one(self):
+        space = PredicateSpace({"a": np.array([1.0, 2.0]), "b": np.array([2.0, 1.0])})
+        assert space.similarity("a", "a") == 1.0
+
+    def test_symmetry_and_cache(self):
+        space = PredicateSpace({"a": np.array([1.0, 0.0]), "b": np.array([1.0, 1.0])})
+        assert space.similarity("a", "b") == space.similarity("b", "a")
+
+    def test_unknown_predicate(self):
+        space = PredicateSpace({"a": np.array([1.0, 0.0])})
+        with pytest.raises(UnknownPredicateError):
+            space.similarity("a", "zzz")
+
+    def test_top_similar_excludes_self_by_default(self):
+        space = oracle_predicate_space(dbpedia_like_schema(), seed=3)
+        top = space.top_similar("product", 5)
+        assert all(name != "product" for name, _ in top)
+        scores = [s for _n, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_subspace(self):
+        space = oracle_predicate_space(dbpedia_like_schema(), seed=3)
+        sub = space.subspace(["product", "assembly"])
+        assert len(sub) == 2
+        assert sub.similarity("product", "assembly") == pytest.approx(
+            space.similarity("product", "assembly")
+        )
+
+    def test_with_vector_replaces(self):
+        space = PredicateSpace({"a": np.array([1.0, 0.0])})
+        extended = space.with_vector("b", np.array([0.0, 1.0]))
+        assert "b" in extended and "b" not in space
+
+    def test_validation(self):
+        with pytest.raises(EmbeddingError):
+            PredicateSpace({})
+        with pytest.raises(EmbeddingError):
+            PredicateSpace({"a": np.array([0.0, 0.0])})
+        with pytest.raises(EmbeddingError):
+            PredicateSpace({"a": np.array([1.0]), "b": np.array([1.0, 2.0])})
+
+
+class TestOracle:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return oracle_predicate_space(dbpedia_like_schema(), seed=3)
+
+    def test_deterministic(self):
+        a = oracle_predicate_space(dbpedia_like_schema(), seed=3)
+        b = oracle_predicate_space(dbpedia_like_schema(), seed=3)
+        assert a.similarity("product", "assembly") == b.similarity("product", "assembly")
+
+    def test_pinned_pairs(self, space):
+        # Fig. 2's headline value survives construction within tolerance.
+        assert space.similarity("product", "assembly") == pytest.approx(0.98, abs=0.03)
+
+    def test_cluster_structure(self, space):
+        schema = dbpedia_like_schema()
+        intra = [
+            space.similarity(a, b)
+            for cluster in schema.clusters().values()
+            for a, b in itertools.combinations(cluster, 2)
+        ]
+        background = [
+            space.similarity("product", p) for p in ("language", "capital", "team")
+        ]
+        assert min(intra) > 0.8
+        assert max(background) < 0.7
+
+    def test_correct_schema_chains_above_tau(self, space):
+        # All weights on the Q117 correct schemas clear τ = 0.8.
+        for predicate in ("assembly", "manufacturer", "country", "location",
+                          "locationCountry", "assemblyCity", "assemblyCompany"):
+            assert space.similarity("product", predicate) >= 0.8
+
+    def test_plausible_wrong_band(self, space):
+        # Fig. 2: designer/nationality sit near τ but below the cluster.
+        for predicate in ("designer", "nationality"):
+            assert 0.75 <= space.similarity("product", predicate) < 0.9
+
+    def test_seed_changes_jitter_not_structure(self):
+        a = oracle_predicate_space(dbpedia_like_schema(), seed=1)
+        b = oracle_predicate_space(dbpedia_like_schema(), seed=2)
+        assert a.similarity("assembly", "manufacturer") != b.similarity(
+            "assembly", "manufacturer"
+        )
+        assert a.similarity("product", "language") < 0.7
+        assert b.similarity("product", "language") < 0.7

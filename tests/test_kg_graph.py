@@ -1,0 +1,133 @@
+"""Unit tests for the knowledge-graph store."""
+
+import pytest
+
+from repro.errors import GraphError, UnknownEntityError
+from repro.kg.graph import Edge, KnowledgeGraph
+
+
+@pytest.fixture()
+def kg():
+    graph = KnowledgeGraph("t")
+    graph.add_entity("Audi_TT", "Automobile")
+    graph.add_entity("Germany", "Country")
+    graph.add_entity("Volkswagen", "Company")
+    graph.add_edge(0, "assembly", 1)
+    graph.add_edge(2, "location", 1)
+    return graph
+
+
+class TestConstruction:
+    def test_add_entity_assigns_sequential_uids(self, kg):
+        entity = kg.add_entity("BMW_320", "Automobile")
+        assert entity.uid == 3
+
+    def test_rejects_empty_labels(self, kg):
+        with pytest.raises(GraphError):
+            kg.add_entity("", "Automobile")
+        with pytest.raises(GraphError):
+            kg.add_entity("X", "")
+
+    def test_duplicate_edge_returns_none(self, kg):
+        assert kg.add_edge(0, "assembly", 1) is None
+        assert kg.num_edges == 2
+
+    def test_rejects_self_loop(self, kg):
+        with pytest.raises(GraphError):
+            kg.add_edge(0, "successor", 0)
+
+    def test_rejects_unknown_endpoint(self, kg):
+        with pytest.raises(UnknownEntityError):
+            kg.add_edge(0, "assembly", 99)
+
+    def test_rejects_empty_predicate(self, kg):
+        with pytest.raises(GraphError):
+            kg.add_edge(0, "", 1)
+
+
+class TestLookups:
+    def test_entity_by_uid(self, kg):
+        assert kg.entity(0).name == "Audi_TT"
+        with pytest.raises(UnknownEntityError):
+            kg.entity(99)
+
+    def test_entities_of_type(self, kg):
+        assert kg.entities_of_type("Automobile") == [0]
+        assert kg.entities_of_type("Nothing") == []
+
+    def test_entity_by_name_unique(self, kg):
+        assert kg.entity_by_name("Germany").uid == 1
+
+    def test_entity_by_name_missing(self, kg):
+        with pytest.raises(UnknownEntityError):
+            kg.entity_by_name("Atlantis")
+
+    def test_entity_by_name_ambiguous(self, kg):
+        kg.add_entity("Germany", "Book")  # a book titled "Germany"
+        with pytest.raises(GraphError):
+            kg.entity_by_name("Germany")
+
+    def test_entities_named_returns_all(self, kg):
+        kg.add_entity("Germany", "Book")
+        assert len(kg.entities_named("Germany")) == 2
+
+    def test_has_edge_is_directed(self, kg):
+        assert kg.has_edge(0, "assembly", 1)
+        assert not kg.has_edge(1, "assembly", 0)
+
+
+class TestTraversal:
+    def test_incident_is_undirected(self, kg):
+        incident = list(kg.incident(1))
+        assert {other for _e, other in incident} == {0, 2}
+
+    def test_out_and_in_edges(self, kg):
+        assert [e.predicate for e in kg.out_edges(0)] == ["assembly"]
+        assert [e.predicate for e in kg.in_edges(1)] == ["assembly", "location"]
+
+    def test_degree_counts_both_directions(self, kg):
+        assert kg.degree(1) == 2
+        assert kg.degree(0) == 1
+
+    def test_neighbors_deduplicates(self, kg):
+        kg.add_edge(1, "capital", 0)  # second edge between 0 and 1
+        assert kg.neighbors(1) == [0, 2] or set(kg.neighbors(1)) == {0, 2}
+        assert len(kg.neighbors(1)) == 2
+
+    def test_edge_other_endpoint(self):
+        edge = Edge(source=3, predicate="p", target=7)
+        assert edge.other(3) == 7
+        assert edge.other(7) == 3
+        with pytest.raises(GraphError):
+            edge.other(5)
+
+
+class TestAggregates:
+    def test_statistics(self, kg):
+        stats = kg.statistics()
+        assert stats.num_entities == 3
+        assert stats.num_edges == 2
+        assert stats.num_types == 3
+        assert stats.num_predicates == 2
+        assert stats.average_degree == pytest.approx(4 / 3)
+        assert stats.max_degree == 2
+
+    def test_predicates_in_first_use_order(self, kg):
+        assert kg.predicates() == ["assembly", "location"]
+
+    def test_predicate_frequency(self, kg):
+        assert kg.predicate_frequency("assembly") == 1
+        assert kg.predicate_frequency("unknown") == 0
+
+    def test_triples_iteration(self, kg):
+        triples = set(kg.triples())
+        assert ("Audi_TT", "assembly", "Germany") in triples
+        assert len(triples) == 2
+
+    def test_repr_mentions_counts(self, kg):
+        assert "entities=3" in repr(kg)
+
+    def test_empty_graph_statistics(self):
+        stats = KnowledgeGraph().statistics()
+        assert stats.num_entities == 0
+        assert stats.average_degree == 0.0

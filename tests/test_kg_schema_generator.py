@@ -1,0 +1,229 @@
+"""Tests for domain schemas, the synthetic generator and entity typing."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.kg.generator import (
+    GeneratorConfig,
+    SyntheticKGBuilder,
+    build_dataset,
+    _poisson_like,
+)
+from repro.kg.schema import (
+    DomainSchema,
+    PredicateSpec,
+    SynonymFamily,
+    TypePopulation,
+    dbpedia_like_schema,
+    freebase_like_schema,
+    preset_schema,
+    yago2_like_schema,
+)
+from repro.kg.typing_model import ProbabilisticEntityTyper
+from repro.utils.rng import derive_rng
+
+
+class TestSchemaValidation:
+    def test_presets_are_valid(self):
+        for name in ("dbpedia", "freebase", "yago2"):
+            schema = preset_schema(name)
+            assert schema.predicates and schema.populations
+
+    def test_unknown_preset(self):
+        with pytest.raises(SchemaError):
+            preset_schema("wikidata")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(SchemaError):
+            DomainSchema(
+                "x",
+                [TypePopulation("A", 1), TypePopulation("A", 2)],
+                [],
+            )
+
+    def test_unknown_predicate_type_rejected(self):
+        with pytest.raises(SchemaError):
+            DomainSchema(
+                "x",
+                [TypePopulation("A", 1)],
+                [PredicateSpec("p", "A", "Missing", "c")],
+            )
+
+    def test_duplicate_predicate_rejected(self):
+        with pytest.raises(SchemaError):
+            DomainSchema(
+                "x",
+                [TypePopulation("A", 2)],
+                [PredicateSpec("p", "A", "A", "c"), PredicateSpec("p", "A", "A", "c")],
+            )
+
+    def test_population_count_vs_named(self):
+        with pytest.raises(SchemaError):
+            TypePopulation("A", 1, ("x", "y"))
+
+    def test_cluster_affinity_levels(self):
+        schema = dbpedia_like_schema()
+        same = schema.cluster_affinity("production", "production")
+        grouped = schema.cluster_affinity("production", "component")
+        override = schema.cluster_affinity("production", "geo")
+        background = schema.cluster_affinity("production", "language")
+        assert same > override > grouped > background
+
+    def test_clusters_partition_predicates(self):
+        schema = dbpedia_like_schema()
+        total = sum(len(ps) for ps in schema.clusters().values())
+        assert total == len(schema.predicates)
+
+    def test_synonym_family_variants(self):
+        family = SynonymFamily("Germany", ("Deutschland",), ("GER",), kind="name")
+        assert family.variants() == ("Deutschland", "GER")
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = build_dataset("dbpedia", seed=5, scale=0.5)
+        b = build_dataset("dbpedia", seed=5, scale=0.5)
+        assert set(a.triples()) == set(b.triples())
+
+    def test_seed_changes_graph(self):
+        a = build_dataset("dbpedia", seed=5, scale=0.5)
+        b = build_dataset("dbpedia", seed=6, scale=0.5)
+        assert set(a.triples()) != set(b.triples())
+
+    def test_named_anchors_exist_at_small_scale(self):
+        kg = build_dataset("dbpedia", seed=1, scale=0.1)
+        assert kg.entity_by_name("Germany").etype == "Country"
+        assert kg.entity_by_name("Audi_TT").etype == "Automobile"
+
+    def test_scale_grows_population_but_not_countries(self):
+        small = build_dataset("dbpedia", seed=1, scale=1.0)
+        big = build_dataset("dbpedia", seed=1, scale=3.0)
+        assert big.num_entities > 2 * small.num_entities
+        assert len(big.entities_of_type("Country")) == len(
+            small.entities_of_type("Country")
+        )
+
+    def test_edges_respect_type_signature(self):
+        kg = build_dataset("dbpedia", seed=1, scale=0.5)
+        schema = dbpedia_like_schema()
+        spec = {p.name: p for p in schema.predicates}
+        for uid in range(kg.num_entities):
+            for edge in kg.out_edges(uid):
+                declared = spec[edge.predicate]
+                assert kg.entity(edge.source).etype == declared.source_type
+                assert kg.entity(edge.target).etype == declared.target_type
+
+    def test_coherence_binds_assembly_to_latent(self):
+        builder = SyntheticKGBuilder(
+            dbpedia_like_schema(), GeneratorConfig(seed=1, scale=1.0)
+        )
+        kg = builder.build()
+        agree = total = 0
+        for uid in range(kg.num_entities):
+            for edge in kg.out_edges(uid):
+                if edge.predicate == "assembly":
+                    total += 1
+                    if builder.latent_of.get(edge.source) == edge.target:
+                        agree += 1
+        assert total > 0
+        assert agree / total > 0.85  # assembly coherence is 0.97
+
+    def test_low_coherence_predicate_disagrees_more(self):
+        builder = SyntheticKGBuilder(
+            dbpedia_like_schema(), GeneratorConfig(seed=1, scale=1.0)
+        )
+        kg = builder.build()
+
+        def agreement(predicate):
+            agree = total = 0
+            for uid in range(kg.num_entities):
+                for edge in kg.out_edges(uid):
+                    if edge.predicate == predicate:
+                        total += 1
+                        if builder.latent_of.get(edge.source) == builder.latent_of.get(
+                            edge.target
+                        ):
+                            agree += 1
+            return agree / max(total, 1)
+
+        assert agreement("engine") < agreement("assemblyCity")
+
+    def test_config_validation(self):
+        with pytest.raises(SchemaError):
+            GeneratorConfig(scale=0)
+        with pytest.raises(SchemaError):
+            GeneratorConfig(hub_bias=1.0)
+        with pytest.raises(SchemaError):
+            GeneratorConfig(coherence=1.5)
+        with pytest.raises(SchemaError):
+            GeneratorConfig(untyped_fraction=1.0)
+
+    def test_untyped_fraction_marks_entities(self):
+        builder = SyntheticKGBuilder(
+            dbpedia_like_schema(),
+            GeneratorConfig(seed=1, scale=0.5, untyped_fraction=0.1),
+        )
+        kg = builder.build()
+        assert len(builder.untyped_uids) == int(kg.num_entities * 0.1)
+
+    def test_poisson_like_expectation(self):
+        rng = derive_rng(0, "t")
+        draws = [_poisson_like(1.4, rng) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(1.4, abs=0.05)
+
+    def test_hub_bias_concentrates_degree(self):
+        flat = SyntheticKGBuilder(
+            dbpedia_like_schema(), GeneratorConfig(seed=1, hub_bias=0.0)
+        ).build()
+        skewed = SyntheticKGBuilder(
+            dbpedia_like_schema(), GeneratorConfig(seed=1, hub_bias=0.6)
+        ).build()
+        assert skewed.statistics().max_degree > flat.statistics().max_degree
+
+
+class TestEntityTyping:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        builder = SyntheticKGBuilder(
+            dbpedia_like_schema(),
+            GeneratorConfig(seed=3, scale=1.0, untyped_fraction=0.08),
+        )
+        kg = builder.build()
+        typer = ProbabilisticEntityTyper.fit(kg, exclude=builder.untyped_uids)
+        return kg, typer, builder.untyped_uids
+
+    def test_accuracy_beats_majority_class(self, setup):
+        kg, typer, untyped = setup
+        connected = [u for u in untyped if kg.degree(u) > 0]
+        accuracy = typer.accuracy(kg, connected)
+        majority = max(
+            len(kg.entities_of_type(t)) for t in kg.types()
+        ) / kg.num_entities
+        assert accuracy > majority + 0.2
+
+    def test_prediction_has_alternatives(self, setup):
+        kg, typer, untyped = setup
+        prediction = typer.predict(kg, untyped[0], top_n=2)
+        assert len(prediction.alternatives) == 2
+        assert prediction.etype not in [t for t, _s in prediction.alternatives]
+
+    def test_scores_sorted_descending(self, setup):
+        kg, typer, _untyped = setup
+        scores = typer.score(kg, 0)
+        values = [s for _t, s in scores]
+        assert values == sorted(values, reverse=True)
+
+    def test_fit_rejects_empty(self):
+        from repro.errors import GraphError
+        from repro.kg.graph import KnowledgeGraph
+
+        kg = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            ProbabilisticEntityTyper.fit(kg)
+
+    def test_accuracy_requires_uids(self, setup):
+        from repro.errors import GraphError
+
+        kg, typer, _ = setup
+        with pytest.raises(GraphError):
+            typer.accuracy(kg, [])

@@ -1,0 +1,181 @@
+"""Unit tests for repro.utils (heaps, clocks, rng, statistics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeBudgetError
+from repro.utils.heap import MaxHeap, MinHeap
+from repro.utils.rng import derive_rng, stable_hash
+from repro.utils.stats import (
+    geometric_mean,
+    mean,
+    nth_root_product,
+    pearson_correlation,
+)
+from repro.utils.timing import BudgetClock, Stopwatch, WallClock
+
+
+class TestMaxHeap:
+    def test_pop_order_is_descending(self):
+        heap = MaxHeap()
+        for priority in (0.3, 0.9, 0.1, 0.7):
+            heap.push(priority, f"p{priority}")
+        popped = [heap.pop_max()[0] for _ in range(4)]
+        assert popped == sorted(popped, reverse=True)
+
+    def test_ties_break_fifo(self):
+        heap = MaxHeap()
+        heap.push(0.5, "first")
+        heap.push(0.5, "second")
+        assert heap.pop_max()[1] == "first"
+        assert heap.pop_max()[1] == "second"
+
+    def test_peek_does_not_remove(self):
+        heap = MaxHeap()
+        heap.push(1.0, "x")
+        assert heap.peek_max() == (1.0, "x")
+        assert len(heap) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            MaxHeap().pop_max()
+
+    def test_len_and_bool(self):
+        heap = MaxHeap()
+        assert not heap
+        heap.push(1.0, "x")
+        assert heap and len(heap) == 1
+
+    def test_iteration_is_descending_and_nonconsuming(self):
+        heap = MaxHeap()
+        for priority in (0.2, 0.8, 0.5):
+            heap.push(priority, priority)
+        listed = [p for p, _item in heap]
+        assert listed == [0.8, 0.5, 0.2]
+        assert len(heap) == 3
+
+    def test_drain_empties(self):
+        heap = MaxHeap()
+        heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        assert [i for _p, i in heap.drain()] == ["b", "a"]
+        assert not heap
+
+    def test_max_priority_property(self):
+        heap = MaxHeap()
+        assert heap.max_priority is None
+        heap.push(0.4, "x")
+        heap.push(0.6, "y")
+        assert heap.max_priority == 0.6
+
+
+class TestMinHeap:
+    def test_pop_order_ascending(self):
+        heap = MinHeap()
+        for priority in (3.0, 1.0, 2.0):
+            heap.push(priority, priority)
+        assert [heap.pop_min()[0] for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_peek_min(self):
+        heap = MinHeap()
+        heap.push(2.0, "b")
+        heap.push(1.0, "a")
+        assert heap.peek_min() == (1.0, "a")
+        assert len(heap) == 2
+
+
+class TestClocks:
+    def test_wall_clock_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_budget_clock_ticks(self):
+        clock = BudgetClock(seconds_per_tick=0.5)
+        clock.tick()
+        clock.tick(3)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_budget_clock_rejects_bad_params(self):
+        with pytest.raises(TimeBudgetError):
+            BudgetClock(seconds_per_tick=0)
+        clock = BudgetClock()
+        with pytest.raises(TimeBudgetError):
+            clock.tick(-1)
+
+    def test_stopwatch_on_budget_clock(self):
+        clock = BudgetClock()
+        watch = Stopwatch(clock)
+        clock.tick(5)
+        assert watch.elapsed() == 5.0
+        watch.restart()
+        assert watch.elapsed() == 0.0
+
+
+class TestRng:
+    def test_stable_hash_is_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash("abc") != stable_hash("abd")
+
+    def test_derive_rng_label_separation(self):
+        a = derive_rng(7, "edges").random(4)
+        b = derive_rng(7, "nodes").random(4)
+        assert not np.allclose(a, b)
+
+    def test_derive_rng_same_label_same_stream(self):
+        assert np.allclose(derive_rng(7, "x").random(4), derive_rng(7, "x").random(4))
+
+    def test_derive_rng_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert derive_rng(generator, "anything") is generator
+
+    def test_none_seed_is_stable(self):
+        assert np.allclose(
+            derive_rng(None, "z").random(3), derive_rng(None, "z").random(3)
+        )
+
+
+class TestStats:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([0.5, 0.5]) == pytest.approx(0.5)
+        assert geometric_mean([0.9, 0.4]) == pytest.approx(math.sqrt(0.36))
+
+    def test_geometric_mean_zero_collapses(self):
+        assert geometric_mean([0.9, 0.0]) == 0.0
+        assert geometric_mean([0.9, -0.1]) == 0.0
+
+    def test_geometric_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean_no_underflow_on_long_paths(self):
+        assert geometric_mean([0.8] * 500) == pytest.approx(0.8)
+
+    def test_nth_root_product_matches_eq7_form(self):
+        # (0.9 * 0.8) ** (1/4)
+        assert nth_root_product([0.9, 0.8], 4) == pytest.approx((0.72) ** 0.25)
+
+    def test_nth_root_product_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            nth_root_product([0.5], 0)
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_pearson_perfect_correlation(self):
+        assert pearson_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_pearson_zero_variance_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_pearson_validates_input(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1])
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [1])
