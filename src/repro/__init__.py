@@ -11,6 +11,9 @@ Public entry points:
   decomposition (Sections III, IV-B);
 - :class:`repro.core.engine.SemanticGraphQueryEngine` — the SGQ / TBQ engine
   (Sections V-VI);
+- :mod:`repro.serve` — serving layer beyond the paper: shared semantic-
+  graph weight cache, batched :class:`~repro.serve.service.QueryService`
+  and the workload replay driver;
 - :mod:`repro.baselines` for the seven comparison methods of Table II;
 - :mod:`repro.bench` for workloads, metrics and experiment runners
   (Section VII).

@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.config import PssMode, SearchConfig, VisitedPolicy
 from repro.core.pss import estimate_pss, exact_pss_from_log, log_weight
 from repro.core.results import PathMatch, SearchStats
-from repro.core.semantic_graph import SemanticGraphView
+from repro.core.semantic_graph import WeightedGraphView
 from repro.errors import SearchError
 from repro.kg.paths import Path, PathStep
 from repro.query.model import SubQueryGraph
@@ -108,7 +108,11 @@ class SubQuerySearch:
     """A* semantic search for one sub-query graph (Algorithm 1).
 
     Args:
-        view: shared semantic-graph view (weight cache).
+        view: shared semantic-graph view — anything satisfying
+            :class:`~repro.core.semantic_graph.WeightedGraphView`; in
+            practice a :class:`~repro.core.semantic_graph.SemanticGraphView`,
+            optionally backed by the serving layer's cross-query
+            :class:`~repro.serve.cache.SemanticGraphCache`.
         subquery: the path-shaped sub-query to match.
         matcher: node-match relation φ.
         config: τ, n̂ and policy knobs.
@@ -120,7 +124,7 @@ class SubQuerySearch:
 
     def __init__(
         self,
-        view: SemanticGraphView,
+        view: WeightedGraphView,
         subquery: SubQueryGraph,
         matcher: NodeMatcher,
         config: SearchConfig,
@@ -390,7 +394,7 @@ class SubQuerySearch:
 
 
 def brute_force_matches(
-    view: SemanticGraphView,
+    view: WeightedGraphView,
     subquery: SubQueryGraph,
     matcher: NodeMatcher,
     config: SearchConfig,

@@ -23,7 +23,7 @@ from repro.core.assembly import MatchStream, assemble_top_k
 from repro.core.astar import SubQuerySearch
 from repro.core.config import SearchConfig
 from repro.core.results import QueryResult
-from repro.core.semantic_graph import SemanticGraphView
+from repro.core.semantic_graph import SemanticGraphView, WeightCache
 from repro.core.time_bounded import TimeBoundedCoordinator
 from repro.embedding.predicate_space import PredicateSpace
 from repro.errors import SearchError
@@ -43,6 +43,13 @@ class SemanticGraphQueryEngine:
         library: synonym/abbreviation transformation library for node
             matching; ``None`` allows identical matches only.
         config: search configuration (paper defaults when omitted).
+        weight_cache: optional cross-query
+            :class:`~repro.core.semantic_graph.WeightCache` (e.g. the
+            serving layer's ``SemanticGraphCache``).  When set, every
+            query's :class:`SemanticGraphView` is backed by it, so
+            repeated queries stop re-weighting the same knowledge-graph
+            edges; when ``None`` each query builds a private view, the
+            paper's one-shot behaviour.
     """
 
     def __init__(
@@ -51,11 +58,23 @@ class SemanticGraphQueryEngine:
         space: PredicateSpace,
         library: Optional[TransformationLibrary] = None,
         config: Optional[SearchConfig] = None,
+        *,
+        weight_cache: Optional[WeightCache] = None,
     ):
         self.kg = kg
         self.space = space
         self.config = config if config is not None else SearchConfig()
         self.matcher = NodeMatcher(kg, library)
+        self.weight_cache = weight_cache
+
+    def _make_view(self) -> SemanticGraphView:
+        """A per-query ``SG_Q`` view, shared-cache-backed when configured."""
+        return SemanticGraphView(
+            self.kg,
+            self.space,
+            min_weight=self.config.min_weight,
+            cache=self.weight_cache,
+        )
 
     # ------------------------------------------------------------------
     def decompose(
@@ -122,7 +141,7 @@ class SemanticGraphQueryEngine:
         watch = Stopwatch()
         if decomposition is None:
             decomposition = self.decompose(query, pivot=pivot, strategy=strategy)
-        view = SemanticGraphView(self.kg, self.space, min_weight=self.config.min_weight)
+        view = self._make_view()
         searches = self._build_searches(decomposition, view)
         streams = [MatchStream(search.next_match) for search in searches]
         assembly = assemble_top_k(streams, k, exhaustive=exhaustive_assembly)
@@ -161,7 +180,7 @@ class SemanticGraphQueryEngine:
         watch = Stopwatch()
         if decomposition is None:
             decomposition = self.decompose(query, pivot=pivot, strategy=strategy)
-        view = SemanticGraphView(self.kg, self.space, min_weight=self.config.min_weight)
+        view = self._make_view()
         run_clock = clock if clock is not None else WallClock()
         searches = self._build_searches(decomposition, view, clock=run_clock)
         coordinator = TimeBoundedCoordinator(

@@ -11,15 +11,72 @@ Weights are Eq. 5 cosines **clamped to [0, 1]**: the pss machinery
 (geometric means, admissibility proofs) requires weights in (0, 1], and a
 negative cosine means "semantically opposite", which the search should
 treat as unrelated (weight 0 ⇒ pruned by any τ > 0).
+
+**Serving-layer indirection.**  Weights depend only on (query predicate,
+graph predicate) and ``m(u)`` (Lemma 1) only on (node, query predicate) —
+for a fixed graph, space and ``min_weight`` neither depends on the query
+*instance*.  A view can therefore be backed by a persistent cross-query
+:class:`WeightCache` (see :class:`repro.serve.cache.SemanticGraphCache`):
+per-query lookups land in a local L1 dict first, fall through to the
+shared cache, and only compute (and publish) on a shared miss.  Without a
+backing cache the view behaves exactly as before — a private per-query
+``SG_Q``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Set, Tuple
 
 from repro.embedding.predicate_space import PredicateSpace
 from repro.errors import UnknownPredicateError
 from repro.kg.graph import Edge, KnowledgeGraph
+
+
+class WeightCache(Protocol):
+    """Cross-query store of semantic-graph weights.
+
+    The cache invariant: every entry is a pure function of the (graph,
+    space, ``min_weight``) triple the cache was bound to — so entries may
+    be shared by any number of concurrent per-query views and evicted at
+    any time without affecting correctness (a miss just recomputes).
+    """
+
+    def bind(self, fingerprint: Tuple) -> None:
+        """Pin the cache to one (graph, space, min_weight) combination.
+
+        Raises :class:`~repro.errors.ServeError` when the cache is already
+        bound to a different combination — mixing spaces would serve wrong
+        weights silently.
+        """
+        ...
+
+    def get_weight(self, query_predicate: str, graph_predicate: str) -> Optional[float]:
+        ...
+
+    def put_weight(self, query_predicate: str, graph_predicate: str, weight: float) -> None:
+        ...
+
+    def get_adjacent(self, uid: int, query_predicate: str) -> Optional[float]:
+        ...
+
+    def put_adjacent(self, uid: int, query_predicate: str, weight: float) -> None:
+        ...
+
+
+class WeightedGraphView(Protocol):
+    """What the A* search needs from a semantic-graph view.
+
+    Kept minimal so alternative backends (shard proxies, precomputed
+    matrices) can stand in for :class:`SemanticGraphView`.
+    """
+
+    def weighted_incident(
+        self, uid: int, query_predicate: str
+    ) -> Iterable[Tuple[Edge, int, float]]:
+        ...
+
+    def max_adjacent_weight_any(self, uid: int, query_predicates: Iterable[str]) -> float:
+        ...
 
 
 class SemanticGraphView:
@@ -28,18 +85,40 @@ class SemanticGraphView:
     One view is shared by all sub-query searches of a query: weights depend
     only on (query predicate, graph predicate), so the cache is global to
     the query, exactly like the paper's single ``SG_Q``.
+
+    Args:
+        kg: the knowledge graph being viewed.
+        space: predicate semantic space providing Eq. 5 similarities.
+        min_weight: similarities below this materialise as 0.
+        cache: optional shared :class:`WeightCache`; when given, weights
+            and ``m(u)`` values survive this view and seed future queries.
     """
 
-    def __init__(self, kg: KnowledgeGraph, space: PredicateSpace, *, min_weight: float = 0.0):
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateSpace,
+        *,
+        min_weight: float = 0.0,
+        cache: Optional[WeightCache] = None,
+    ):
         self.kg = kg
         self.space = space
         self.min_weight = min_weight
-        # (query predicate, graph predicate) -> clamped weight
+        self._cache = cache
+        if cache is not None:
+            # The fingerprint holds the objects themselves (not id()s):
+            # the cache keeps them alive, so identity can never be
+            # recycled onto a different graph/space.
+            cache.bind((kg, space, min_weight))
+        # L1, per query: (query predicate, graph predicate) -> clamped weight
         self._weight_cache: Dict[Tuple[str, str], float] = {}
-        # (uid, query predicate) -> max adjacent weight (the m(u) of Lemma 1)
+        # L1, per query: (uid, query predicate) -> max adjacent weight
+        # (the m(u) of Lemma 1)
         self._max_adjacent_cache: Dict[Tuple[int, str], float] = {}
         self._touched_nodes: Set[int] = set()
-        self.edges_weighted = 0
+        self.edges_weighted = 0  # similarities actually computed by this view
+        self.cache_hits = 0  # lookups served by the shared cache
 
     # ------------------------------------------------------------------
     def weight(self, query_predicate: str, graph_predicate: str) -> float:
@@ -53,6 +132,12 @@ class SemanticGraphView:
         cached = self._weight_cache.get(key)
         if cached is not None:
             return cached
+        if self._cache is not None:
+            shared = self._cache.get_weight(query_predicate, graph_predicate)
+            if shared is not None:
+                self._weight_cache[key] = shared
+                self.cache_hits += 1
+                return shared
         try:
             raw = self.space.similarity(query_predicate, graph_predicate)
         except UnknownPredicateError:
@@ -62,6 +147,8 @@ class SemanticGraphView:
             clamped = 0.0
         self._weight_cache[key] = clamped
         self.edges_weighted += 1
+        if self._cache is not None:
+            self._cache.put_weight(query_predicate, graph_predicate, clamped)
         return clamped
 
     def weighted_incident(
@@ -85,17 +172,27 @@ class SemanticGraphView:
 
         The value upper-bounds the weight of the first unexplored edge of
         any continuation through ``uid``, hence (weights ≤ 1) the whole
-        unexplored weight product.
+        unexplored weight product.  A shared-cache hit skips the incident
+        scan entirely, which is the serving layer's dominant saving on
+        repeated workloads.
         """
         key = (uid, query_predicate)
         cached = self._max_adjacent_cache.get(key)
         if cached is not None:
             return cached
+        if self._cache is not None:
+            shared = self._cache.get_adjacent(uid, query_predicate)
+            if shared is not None:
+                self._max_adjacent_cache[key] = shared
+                self.cache_hits += 1
+                return shared
         best = 0.0
         for _edge, _neighbor, weight in self.weighted_incident(uid, query_predicate):
             if weight > best:
                 best = weight
         self._max_adjacent_cache[key] = best
+        if self._cache is not None:
+            self._cache.put_adjacent(uid, query_predicate, best)
         return best
 
     def max_adjacent_weight_any(self, uid: int, query_predicates: Iterable[str]) -> float:
@@ -116,7 +213,7 @@ class SemanticGraphView:
     # ------------------------------------------------------------------
     @property
     def materialized_pairs(self) -> int:
-        """Distinct (query predicate, graph predicate) weights computed."""
+        """Distinct (query predicate, graph predicate) weights held."""
         return len(self._weight_cache)
 
     @property

@@ -67,3 +67,12 @@ class ConfigError(ReproError):
 
 class TimeBudgetError(ReproError):
     """Raised for invalid time-bound parameters in TBQ."""
+
+
+class ServeError(ReproError):
+    """Raised for serving-layer misuse.
+
+    Examples: binding one :class:`~repro.serve.cache.SemanticGraphCache`
+    to two different (graph, space) combinations, or submitting work to a
+    closed :class:`~repro.serve.service.QueryService`.
+    """

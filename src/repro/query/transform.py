@@ -128,10 +128,16 @@ class NodeMatcher:
     looked up by decomposition, by every sub-query search and by assembly.
     """
 
+    # Entry cap on the per-(node signature, uid) verdict memo; reached
+    # only by long-lived matchers under very diverse serving workloads.
+    _IS_MATCH_CACHE_MAX = 1_000_000
+
     def __init__(self, kg: KnowledgeGraph, library: Optional[TransformationLibrary] = None):
         self.kg = kg
         self.library = library if library is not None else TransformationLibrary.empty()
         self._cache: Dict[Tuple[Optional[str], Optional[str]], List[int]] = {}
+        # (name, etype, uid) -> φ-match verdict (see is_match).
+        self._is_match_cache: Dict[Tuple[Optional[str], Optional[str], int], bool] = {}
         # Normalised-name index over the graph (built lazily once).
         self._name_index: Optional[Dict[str, List[int]]] = None
         self._type_index: Optional[Dict[str, List[str]]] = None
@@ -212,8 +218,26 @@ class NodeMatcher:
         """Whether a specific entity is a φ-match of the query node.
 
         Used on the search's hot path (goal tests), so it avoids scanning
-        the full candidate list for target nodes.
+        the full candidate list for target nodes.  Verdicts are memoised
+        per (name, type, uid) signature — the relation is a pure function
+        of the graph and library, and the A* search re-asks it for every
+        arrival at a segment boundary.
         """
+        key = (node.name, node.etype, uid)
+        cached = self._is_match_cache.get(key)
+        if cached is not None:
+            return cached
+        verdict = self._is_match_uncached(node, uid)
+        if len(self._is_match_cache) >= self._IS_MATCH_CACHE_MAX:
+            # Crude bound for long-lived matchers serving diverse
+            # workloads: drop everything rather than track recency — the
+            # memo refills in one query and correctness never depends on
+            # it.
+            self._is_match_cache.clear()
+        self._is_match_cache[key] = verdict
+        return verdict
+
+    def _is_match_uncached(self, node: QueryNode, uid: int) -> bool:
         entity = self.kg.entity(uid)
         if node.etype is not None and not self.library.match_type(node.etype, entity.etype):
             return False

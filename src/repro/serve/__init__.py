@@ -1,0 +1,35 @@
+"""Serving layer: shared weight cache, batched query service, load driver.
+
+The paper's engine (``repro.core``) answers one query at a time and
+rebuilds its semantic-graph state per call.  This package amortises that
+state across a workload:
+
+- :class:`~repro.serve.cache.SemanticGraphCache` — thread-safe,
+  LRU-bounded cross-query store of edge weights and ``m(u)`` adjacency
+  bounds, with hit/miss statistics;
+- :class:`~repro.serve.service.QueryService` — worker-pool front-end with
+  ``submit`` / ``submit_batch`` / ``search_many``, decomposition
+  memoization and per-query deadlines (mapped onto the TBQ coordinator);
+- :mod:`repro.serve.workload` — open-loop replay driver reporting
+  throughput and latency percentiles (also the ``repro-serve-workload``
+  console script).
+
+Later scaling work (sharded graph stores, async front-ends, multi-backend
+views) plugs in behind these seams; see ``docs/architecture.md``.
+"""
+
+from repro.serve.cache import CacheStats, SemanticGraphCache
+from repro.serve.service import QueryRequest, QueryService, ServiceStats, query_shape_key
+from repro.serve.workload import ReplayReport, WorkloadItem, replay
+
+__all__ = [
+    "CacheStats",
+    "SemanticGraphCache",
+    "QueryRequest",
+    "QueryService",
+    "ServiceStats",
+    "query_shape_key",
+    "ReplayReport",
+    "WorkloadItem",
+    "replay",
+]

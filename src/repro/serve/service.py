@@ -1,0 +1,358 @@
+"""Batched query serving on top of the SGQ/TBQ engine.
+
+The engine answers one query at a time; a production deployment sees a
+*workload* — many queries, often repeated, often with per-query latency
+budgets.  :class:`QueryService` is the serving seam between the two:
+
+- a **worker pool** executes SGQ/TBQ searches concurrently — safe
+  because every query owns its view and search state, while the shared
+  structures are either lock-protected (the weight cache, the memo) or
+  lazily-built memo dicts whose writes are idempotent pure-function
+  results, which CPython's GIL publishes atomically (a free-threaded
+  backend must add locking to ``NodeMatcher`` first — see ROADMAP);
+- a shared :class:`~repro.serve.cache.SemanticGraphCache` backs every
+  query's semantic-graph view, so the workload amortises edge weighting
+  and ``m(u)`` derivation across queries;
+- **decomposition memoization**: repeated query shapes (same nodes, edges,
+  pivot policy) reuse the minCost decomposition instead of re-running the
+  Eq. 1 cost model;
+- **per-query deadlines** map onto the existing
+  :class:`~repro.core.time_bounded.TimeBoundedCoordinator` — a request
+  with ``deadline=T`` runs the paper's TBQ (Algorithms 2-3) with the time
+  already spent waiting in the worker queue subtracted from ``T`` (a
+  deadline bounds latency, not service time), while requests without a
+  deadline get exact SGQ semantics.
+
+``submit`` returns a future; ``submit_batch`` and ``search_many`` are the
+batch conveniences.  Results are bit-identical to calling
+``engine.search`` sequentially: the cache stores pure functions of the
+graph/space, the memoized decompositions are deterministic, and worker
+scheduling never reorders per-query state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SearchConfig
+from repro.core.engine import SemanticGraphQueryEngine
+from repro.core.results import QueryResult
+from repro.embedding.predicate_space import PredicateSpace
+from repro.errors import ServeError
+from repro.kg.graph import KnowledgeGraph
+from repro.query.decompose import Decomposition
+from repro.query.model import QueryGraph
+from repro.query.transform import TransformationLibrary
+from repro.serve.cache import LruMap, SemanticGraphCache
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One unit of serving work.
+
+    ``deadline`` (seconds) switches the request to the time-bounded TBQ
+    path; ``None`` means exact SGQ.  ``pivot``/``strategy`` pass through to
+    decomposition; ``tag`` is an opaque caller label echoed in errors.
+    """
+
+    query: QueryGraph
+    k: int = 10
+    deadline: Optional[float] = None
+    pivot: Optional[str] = None
+    strategy: str = "min_cost"
+    tag: Optional[str] = None
+
+
+# A deadline that has already elapsed in the queue still gets a sliver of
+# search budget: the TBQ coordinator needs a positive bound, and a
+# harvest-what-you-can answer beats an error for an overloaded service.
+MIN_TIME_BOUND = 1e-3
+
+
+@dataclass
+class ServiceStats:
+    """Serving counters (monotonic over the service's lifetime).
+
+    Writers mutate the live object under the service lock; reading the
+    attributes directly is unsynchronised (fine for quiescent services
+    and monotonic counters, but ``in_flight`` combines three of them) —
+    monitoring code should use :meth:`QueryService.stats_snapshot`.
+
+    Decomposition-memo hit counts live on the memo itself — see
+    :attr:`QueryService.memo_hits` / :attr:`QueryService.memo_hit_rate`.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    time_bounded: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.completed - self.failed
+
+
+def query_shape_key(
+    query: QueryGraph, pivot: Optional[str], strategy: str
+) -> Tuple:
+    """A canonical, hashable key for a query's decomposition inputs.
+
+    Two structurally identical query graphs (same labelled nodes with the
+    same names/types, same labelled edges) decompose identically under the
+    same pivot policy, so they may share one memoized decomposition.
+    """
+    # None-ness is encoded explicitly: a target node (name=None) and a
+    # specific node literally named "" are different queries.
+    nodes = tuple(
+        sorted(
+            (n.label, n.etype is None, n.etype or "", n.name is None, n.name or "")
+            for n in query.nodes()
+        )
+    )
+    edges = tuple(
+        sorted((e.label, e.source, e.predicate, e.target) for e in query.edges())
+    )
+    return (nodes, edges, pivot or "", strategy)
+
+
+class QueryService:
+    """Concurrent, cache-backed front-end over one query engine.
+
+    Args:
+        engine: the engine to serve.  The service attaches its shared
+            weight cache to it (``engine.weight_cache``); an engine that
+            already carries a cache keeps it.
+        max_workers: worker-pool size.  CPython's GIL means CPU-bound
+            searches do not parallelise, but the pool still provides
+            request-level concurrency (deadline isolation, interleaved
+            batches) and is the seam a free-threaded or multi-process
+            backend plugs into.
+        cache: explicit :class:`SemanticGraphCache` to share (e.g. between
+            services over the same graph); default builds a private one.
+        memoize_decompositions: reuse decompositions across identical
+            query shapes.
+        max_memoized: LRU bound on the decomposition memo.
+
+    Use as a context manager or call :meth:`close` to release the pool.
+    """
+
+    def __init__(
+        self,
+        engine: SemanticGraphQueryEngine,
+        *,
+        max_workers: int = 4,
+        cache: Optional[SemanticGraphCache] = None,
+        memoize_decompositions: bool = True,
+        max_memoized: int = 1024,
+    ):
+        if max_workers < 1:
+            raise ServeError(f"max_workers must be at least 1, got {max_workers}")
+        if max_memoized < 1:
+            raise ServeError(f"max_memoized must be at least 1, got {max_memoized}")
+        if cache is not None:
+            engine.weight_cache = cache
+        elif engine.weight_cache is None:
+            engine.weight_cache = SemanticGraphCache()
+        self.engine = engine
+        self.cache = engine.weight_cache
+        self.stats = ServiceStats()
+        self._memoize = memoize_decompositions
+        self._memo = LruMap(max_memoized)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+
+    # ------------------------------------------------------------------
+    # construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        kg: KnowledgeGraph,
+        space: PredicateSpace,
+        library: Optional[TransformationLibrary] = None,
+        config: Optional[SearchConfig] = None,
+        **kwargs,
+    ) -> "QueryService":
+        """Build an engine and wrap it in one call."""
+        return cls(SemanticGraphQueryEngine(kg, space, library, config), **kwargs)
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: QueryGraph,
+        k: int = 10,
+        *,
+        deadline: Optional[float] = None,
+        pivot: Optional[str] = None,
+        strategy: str = "min_cost",
+        tag: Optional[str] = None,
+    ) -> "Future[QueryResult]":
+        """Enqueue one query; returns a future resolving to its result."""
+        return self.submit_request(
+            QueryRequest(
+                query=query,
+                k=k,
+                deadline=deadline,
+                pivot=pivot,
+                strategy=strategy,
+                tag=tag,
+            )
+        )
+
+    def submit_request(self, request: QueryRequest) -> "Future[QueryResult]":
+        # The executor submit happens under the same lock close() takes
+        # before shutting the pool down, so a closed-check that passes
+        # can never race into a shut-down executor.
+        with self._lock:
+            if self._closed:
+                raise ServeError("QueryService is closed")
+            future = self._executor.submit(self._execute, request, time.perf_counter())
+            self.stats.submitted += 1
+            if request.deadline is not None:
+                self.stats.time_bounded += 1
+        return future
+
+    def submit_batch(
+        self, requests: Sequence[Union[QueryRequest, QueryGraph]]
+    ) -> List["Future[QueryResult]"]:
+        """Enqueue a batch; futures are returned in submission order."""
+        return [self.submit_request(self._coerce(r)) for r in requests]
+
+    def search_many(
+        self,
+        queries: Sequence[Union[QueryRequest, QueryGraph]],
+        k: int = 10,
+        *,
+        deadline: Optional[float] = None,
+    ) -> List[QueryResult]:
+        """Run a batch to completion; results in submission order.
+
+        Bare :class:`QueryGraph` items pick up ``k``/``deadline``;
+        :class:`QueryRequest` items keep their own parameters.
+        """
+        futures = [
+            self.submit_request(self._coerce(item, k=k, deadline=deadline))
+            for item in queries
+        ]
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _coerce(
+        item: Union[QueryRequest, QueryGraph],
+        k: int = 10,
+        deadline: Optional[float] = None,
+    ) -> QueryRequest:
+        if isinstance(item, QueryRequest):
+            return item
+        return QueryRequest(query=item, k=k, deadline=deadline)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _decomposition_for(self, request: QueryRequest) -> Optional[Decomposition]:
+        if not self._memoize:
+            return None
+        key = query_shape_key(request.query, request.pivot, request.strategy)
+        with self._lock:
+            memoized = self._memo.get(key)  # LruMap counts the hit/miss
+            if memoized is not None:
+                return memoized
+        decomposition = self.engine.decompose(
+            request.query, pivot=request.pivot, strategy=request.strategy
+        )
+        with self._lock:
+            self._memo.put(key, decomposition)
+        return decomposition
+
+    def _execute(self, request: QueryRequest, submitted_at: float) -> QueryResult:
+        try:
+            decomposition = self._decomposition_for(request)
+            if request.deadline is not None:
+                # A deadline is a promise about *latency*, not service
+                # time: the wait in the worker queue already spent part of
+                # the budget, so only the remainder goes to the search.
+                queue_wait = time.perf_counter() - submitted_at
+                budget = max(request.deadline - queue_wait, MIN_TIME_BOUND)
+                result = self.engine.search_time_bounded(
+                    request.query,
+                    request.k,
+                    time_bound=budget,
+                    pivot=request.pivot,
+                    strategy=request.strategy,
+                    decomposition=decomposition,
+                )
+            else:
+                result = self.engine.search(
+                    request.query,
+                    request.k,
+                    pivot=request.pivot,
+                    strategy=request.strategy,
+                    decomposition=decomposition,
+                )
+        except BaseException:
+            with self._lock:
+                self.stats.failed += 1
+            raise
+        with self._lock:
+            self.stats.completed += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> ServiceStats:
+        """A consistent copy of the counters, taken under the lock."""
+        with self._lock:
+            return replace(self.stats)
+
+    @property
+    def memo_hits(self) -> int:
+        """Decomposition-memo hits (from the memo's own counters)."""
+        with self._lock:
+            return self._memo.hits
+
+    @property
+    def memo_misses(self) -> int:
+        with self._lock:
+            return self._memo.misses
+
+    @property
+    def memo_hit_rate(self) -> float:
+        with self._lock:
+            lookups = self._memo.hits + self._memo.misses
+            return self._memo.hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Reject new work and (optionally) wait for in-flight queries."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Inside the lock: a submit that already passed its closed
+            # check has finished its executor.submit before we get here.
+            self._executor.shutdown(wait=False)
+        if wait:
+            self._executor.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -59,6 +59,29 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    The nearest-rank definition always returns an observed value, which is
+    what latency reporting wants (a p99 that was actually experienced by a
+    request, not an interpolated artefact).
+
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 50)
+    2.0
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 100)
+    4.0
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile rank must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    # Rounding before ceil keeps binary-float dust (7/100*100 =
+    # 7.000000000000001) from overshooting an exact integer rank.
+    rank = max(1, math.ceil(round(q / 100.0 * len(ordered), 9)))
+    return ordered[rank - 1]
+
+
 def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
     """Pearson correlation coefficient between two equal-length lists.
 

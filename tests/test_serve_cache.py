@@ -1,0 +1,196 @@
+"""Tests for the shared semantic-graph weight cache (repro.serve.cache)."""
+
+import threading
+
+import pytest
+
+from repro.core.semantic_graph import SemanticGraphView
+from repro.errors import ServeError
+from repro.serve.cache import SemanticGraphCache
+
+
+class TestLruBounds:
+    def test_weight_capacity_is_enforced(self):
+        cache = SemanticGraphCache(max_pairs=4, max_adjacency=4)
+        for i in range(10):
+            cache.put_weight("product", f"p{i}", 0.5)
+        stats = cache.stats
+        assert stats.weight_entries == 4
+        assert stats.weight_evictions == 6
+        # The four most recent entries survive.
+        assert cache.get_weight("product", "p9") == 0.5
+        assert cache.get_weight("product", "p5") is None
+
+    def test_adjacency_capacity_is_enforced(self):
+        cache = SemanticGraphCache(max_pairs=4, max_adjacency=3)
+        for uid in range(7):
+            cache.put_adjacent(uid, "product", 0.9)
+        stats = cache.stats
+        assert stats.adjacency_entries == 3
+        assert stats.adjacency_evictions == 4
+
+    def test_get_refreshes_recency(self):
+        cache = SemanticGraphCache(max_pairs=2)
+        cache.put_weight("q", "a", 0.1)
+        cache.put_weight("q", "b", 0.2)
+        assert cache.get_weight("q", "a") == 0.1  # refresh "a"
+        cache.put_weight("q", "c", 0.3)  # evicts "b", not "a"
+        assert cache.get_weight("q", "a") == 0.1
+        assert cache.get_weight("q", "b") is None
+
+    def test_put_existing_key_does_not_evict(self):
+        cache = SemanticGraphCache(max_pairs=2)
+        cache.put_weight("q", "a", 0.1)
+        cache.put_weight("q", "b", 0.2)
+        cache.put_weight("q", "a", 0.15)  # overwrite, no growth
+        stats = cache.stats
+        assert stats.weight_entries == 2
+        assert stats.weight_evictions == 0
+        assert cache.get_weight("q", "a") == 0.15
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ServeError):
+            SemanticGraphCache(max_pairs=0)
+        with pytest.raises(ServeError):
+            SemanticGraphCache(max_adjacency=0)
+
+
+class TestStats:
+    def test_hit_miss_accounting(self):
+        cache = SemanticGraphCache()
+        assert cache.get_weight("q", "a") is None
+        cache.put_weight("q", "a", 0.7)
+        assert cache.get_weight("q", "a") == 0.7
+        assert cache.get_adjacent(1, "q") is None
+        cache.put_adjacent(1, "q", 0.9)
+        assert cache.get_adjacent(1, "q") == 0.9
+        stats = cache.stats
+        assert stats.weight_hits == 1 and stats.weight_misses == 1
+        assert stats.adjacency_hits == 1 and stats.adjacency_misses == 1
+        assert stats.hits == 2 and stats.misses == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert "hit_rate=0.500" in stats.describe()
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert SemanticGraphCache().stats.hit_rate == 0.0
+
+    def test_reset_stats_keeps_entries(self):
+        cache = SemanticGraphCache()
+        cache.put_weight("q", "a", 0.4)
+        cache.get_weight("q", "a")
+        cache.reset_stats()
+        stats = cache.stats
+        assert stats.hits == 0 and stats.misses == 0
+        assert cache.get_weight("q", "a") == 0.4  # entry survived
+
+    def test_clear_drops_entries_keeps_binding(self):
+        cache = SemanticGraphCache()
+        cache.bind(("fp",))
+        cache.put_weight("q", "a", 0.4)
+        cache.put_adjacent(3, "q", 0.2)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(ServeError):
+            cache.bind(("other",))
+
+
+class TestBinding:
+    def test_rebind_same_fingerprint_ok(self):
+        cache = SemanticGraphCache()
+        cache.bind((1, 2, 0.0))
+        cache.bind((1, 2, 0.0))
+
+    def test_rebind_different_fingerprint_raises(self):
+        cache = SemanticGraphCache()
+        cache.bind((1, 2, 0.0))
+        with pytest.raises(ServeError):
+            cache.bind((1, 2, 0.5))
+
+    def test_views_with_different_min_weight_cannot_share(self, fig2_kg, fig2_space):
+        cache = SemanticGraphCache()
+        SemanticGraphView(fig2_kg, fig2_space, cache=cache)
+        with pytest.raises(ServeError):
+            SemanticGraphView(fig2_kg, fig2_space, min_weight=0.5, cache=cache)
+
+
+class TestViewIntegration:
+    def test_second_view_hits_shared_weights(self, fig2_kg, fig2_space):
+        cache = SemanticGraphCache()
+        first = SemanticGraphView(fig2_kg, fig2_space, cache=cache)
+        value = first.weight("product", "assembly")
+        assert first.edges_weighted == 1 and first.cache_hits == 0
+
+        second = SemanticGraphView(fig2_kg, fig2_space, cache=cache)
+        assert second.weight("product", "assembly") == value
+        assert second.edges_weighted == 0 and second.cache_hits == 1
+
+    def test_second_view_hits_shared_adjacency(self, fig2_kg, fig2_space):
+        cache = SemanticGraphCache()
+        germany = fig2_kg.entities_named("Germany")[0]
+        first = SemanticGraphView(fig2_kg, fig2_space, cache=cache)
+        bound = first.max_adjacent_weight(germany, "product")
+
+        second = SemanticGraphView(fig2_kg, fig2_space, cache=cache)
+        assert second.max_adjacent_weight(germany, "product") == bound
+        # Served from the shared cache: no incident scan, no node touched.
+        assert second.touched_nodes == 0
+        assert second.cache_hits == 1
+
+    def test_cached_view_weights_equal_uncached(self, fig2_kg, fig2_space):
+        cache = SemanticGraphCache()
+        warm = SemanticGraphView(fig2_kg, fig2_space, cache=cache)
+        plain = SemanticGraphView(fig2_kg, fig2_space)
+        predicates = ["product", "assembly", "designer", "language"]
+        for qp in predicates:
+            for gp in predicates:
+                assert warm.weight(qp, gp) == plain.weight(qp, gp)
+        # Re-read through a fresh cached view: identical again.
+        reread = SemanticGraphView(fig2_kg, fig2_space, cache=cache)
+        for qp in predicates:
+            for gp in predicates:
+                assert reread.weight(qp, gp) == plain.weight(qp, gp)
+
+    def test_min_weight_zeroing_is_cached_consistently(self, fig2_kg, fig2_space):
+        cache = SemanticGraphCache()
+        view = SemanticGraphView(fig2_kg, fig2_space, min_weight=0.5, cache=cache)
+        assert view.weight("product", "language") == 0.0
+        again = SemanticGraphView(fig2_kg, fig2_space, min_weight=0.5, cache=cache)
+        assert again.weight("product", "language") == 0.0
+        assert again.cache_hits == 1
+
+    def test_view_without_cache_unchanged(self, fig2_kg, fig2_space):
+        view = SemanticGraphView(fig2_kg, fig2_space)
+        view.weight("product", "assembly")
+        view.weight("product", "assembly")
+        assert view.edges_weighted == 1
+        assert view.cache_hits == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        cache = SemanticGraphCache(max_pairs=64, max_adjacency=64)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(300):
+                    cache.put_weight(f"q{worker}", f"p{i % 80}", 0.5)
+                    cache.get_weight(f"q{worker}", f"p{(i + 1) % 80}")
+                    cache.put_adjacent(i % 80, f"q{worker}", 0.25)
+                    cache.get_adjacent((i + 1) % 80, f"q{worker}")
+                    if i % 50 == 0:
+                        cache.stats  # snapshot under contention
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats
+        assert stats.weight_entries <= 64
+        assert stats.adjacency_entries <= 64
+        assert stats.lookups == 8 * 300 * 2

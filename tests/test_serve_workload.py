@@ -1,0 +1,127 @@
+"""Tests for the workload replay driver (repro.serve.workload)."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.service import QueryRequest, QueryService
+from repro.serve.workload import ReplayReport, WorkloadItem, replay
+from repro.serve.workload import main as workload_main
+from repro.utils.stats import percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 25) == 1.0
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 75) == 3.0
+        assert percentile(values, 99) == 4.0
+        assert percentile(values, 100) == 4.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+@pytest.fixture()
+def service(small_bundle):
+    svc = QueryService.build(
+        small_bundle.kg, small_bundle.space, small_bundle.library, max_workers=2
+    )
+    yield svc
+    svc.close()
+
+
+class TestReplay:
+    def test_unpaced_replay_reports(self, service, small_bundle):
+        items = [
+            WorkloadItem(query=q.query, k=4, qid=q.qid)
+            for q in small_bundle.workload[:4]
+        ]
+        report = replay(service, items)
+        assert report.completed == 4
+        assert report.failed == 0
+        assert len(report.latencies) == 4
+        assert report.throughput_qps > 0
+        assert report.p50 <= report.p90 <= report.p99
+        assert report.cache_stats is not None
+        assert report.cache_stats.lookups > 0
+        text = report.describe()
+        assert "throughput" in text and "latency" in text and "hit_rate" in text
+
+    def test_mixed_item_kinds_accepted(self, service, small_bundle):
+        query = small_bundle.workload[0].query
+        report = replay(
+            service,
+            [query, QueryRequest(query=query, k=2), WorkloadItem(query=query, k=3)],
+            k=4,
+        )
+        assert report.completed == 3
+
+    def test_paced_replay_respects_rate(self, service, small_bundle):
+        query = small_bundle.workload[0].query
+        # 3 arrivals at 40 qps: the last is scheduled 50 ms in.
+        report = replay(service, [query] * 3, rate=40.0)
+        assert report.rate == 40.0
+        assert report.completed == 3
+        assert report.elapsed_seconds >= 2 / 40.0
+
+    def test_failures_are_counted_not_raised(self, service, small_bundle):
+        good = small_bundle.workload[0].query
+        report = replay(
+            service,
+            [WorkloadItem(query=good, k=3), WorkloadItem(query=good, k=0)],
+        )
+        assert report.completed == 1
+        assert report.failed == 1
+
+    def test_invalid_rate_rejected(self, service):
+        with pytest.raises(ServeError):
+            replay(service, [], rate=0.0)
+
+    def test_empty_workload(self, service):
+        report = replay(service, [])
+        assert report.completed == 0
+        assert report.throughput_qps == 0.0
+
+
+class TestConsoleEntrypoint:
+    def test_main_smoke(self, capsys):
+        code = workload_main(
+            [
+                "--preset",
+                "dbpedia",
+                "--scale",
+                "1.0",
+                "--seed",
+                "11",
+                "--repeats",
+                "2",
+                "--k",
+                "4",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass 1/2 (cold)" in out
+        assert "pass 2/2 (warm)" in out
+        assert "throughput" in out
+        assert "hit_rate" in out
+
+    def test_report_describe_without_cache_stats(self):
+        report = ReplayReport(
+            completed=1,
+            failed=0,
+            elapsed_seconds=0.1,
+            latencies=[0.1],
+            rate=None,
+        )
+        assert "weight cache" not in report.describe()
