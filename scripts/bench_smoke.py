@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI smoke gate for the compact CSR kernel.
+
+Runs the lazy-vs-compact comparison (``repro.bench.compactbench``) on a
+small synthetic bundle, writes ``benchmarks/results/BENCH_compact_kernel
+.json``, and exits non-zero **only** on a result-equivalence mismatch —
+the one property CI can judge on shared runners.  Timing numbers are
+recorded in the artifact but never gate the build (CI machines are too
+noisy for that; the full-scale bench in ``benchmarks/`` asserts the
+speedup on dedicated hardware).
+
+Usage::
+
+    python scripts/bench_smoke.py [--preset dbpedia] [--scale 1.0]
+                                  [--seed 11] [--k 5] [--passes 2]
+
+Run from the repository root; ``src/`` is put on ``sys.path``
+automatically so no install step is required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench.compactbench import compare_kernels  # noqa: E402
+from repro.bench.datasets import load_bundle  # noqa: E402
+from repro.bench.reporting import emit_json  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="dbpedia",
+                        choices=("dbpedia", "freebase", "yago2"))
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--passes", type=int, default=2)
+    args = parser.parse_args(argv)
+    if args.scale <= 0:
+        parser.error(f"--scale must be positive, got {args.scale}")
+    if args.k < 1:
+        parser.error(f"--k must be at least 1, got {args.k}")
+    if args.passes < 1:
+        parser.error(f"--passes must be at least 1, got {args.passes}")
+
+    bundle = load_bundle(args.preset, scale=args.scale, seed=args.seed)
+    print(
+        f"{args.preset} @ scale {args.scale}: {bundle.kg.num_entities} entities, "
+        f"{bundle.kg.num_edges} edges, {len(bundle.workload)} queries"
+    )
+    comparison = compare_kernels(
+        bundle, k=args.k, passes=args.passes, scale=args.scale
+    )
+    path = emit_json("BENCH_compact_kernel", comparison.to_json())
+    print(
+        f"lazy {comparison.lazy_seconds * 1000:.1f} ms, "
+        f"compact {comparison.compact_seconds * 1000:.1f} ms "
+        f"(speedup {comparison.speedup:.2f}x, informational), "
+        f"freeze {comparison.freeze_seconds * 1000:.1f} ms"
+    )
+    print(f"report: {path}")
+
+    if not comparison.equivalent:
+        print("EQUIVALENCE MISMATCH between compact and lazy kernels:",
+              file=sys.stderr)
+        for problem in comparison.mismatches[:10]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"equivalence OK on all {comparison.num_queries} queries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

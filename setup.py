@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-sgq",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Semantic Guided and Response Times Bounded "
         "Top-k Similarity Search over Knowledge Graphs' (ICDE 2020), "

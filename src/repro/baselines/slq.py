@@ -75,11 +75,11 @@ class SLQBaseline(GraphQueryMethod):
                 target_uid, edge.predicate, source_uid
             ):
                 return 1.0
-            for kg_edge in self.kg.out_edges(source_uid):
-                if kg_edge.target == target_uid:
+            for _kg_edge, target in self.kg.out_incident(source_uid):
+                if target == target_uid:
                     return 0.6
-            for kg_edge in self.kg.out_edges(target_uid):
-                if kg_edge.target == source_uid:
+            for _kg_edge, target in self.kg.out_incident(target_uid):
+                if target == source_uid:
                     return 0.6
             return None
 

@@ -1,0 +1,197 @@
+"""Compact-kernel benchmark harness: equivalence proof + speedup report.
+
+Runs the same cold top-k workload (the Fig. 12-style synthetic workload)
+through two engines over one graph — the paper's lazy
+:class:`~repro.core.semantic_graph.SemanticGraphView` and the frozen CSR
+:class:`~repro.core.compact_view.CompactSemanticGraphView` — and:
+
+1. asserts **byte-identical results** on every query (pivots, exact
+   scores, the very same ``Edge`` objects along every match path);
+2. times both kernels (best of ``passes`` full-workload sweeps, fresh
+   uncached views per query — the *cold* cost the ISSUE targets) and
+   reports the speedup plus the one-off freeze cost.
+
+Shared by ``benchmarks/bench_compact_kernel.py`` (full-scale, pytest) and
+``scripts/bench_smoke.py`` (small-scale, CI gate): the CI job fails on an
+equivalence mismatch while treating the perf numbers as informational.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.datasets import DatasetBundle
+from repro.core.compact_view import CompactViewFactory
+from repro.core.engine import SemanticGraphQueryEngine
+from repro.core.results import QueryResult
+from repro.errors import ReproError
+from repro.kg.compact import CompactGraph
+
+
+@dataclass
+class KernelComparison:
+    """Outcome of one lazy-vs-compact workload sweep."""
+
+    preset: str
+    scale: float
+    num_queries: int
+    k: int
+    num_entities: int
+    num_edges: int
+    freeze_seconds: float
+    lazy_seconds: float
+    compact_seconds: float
+    equivalent: bool
+    mismatches: List[str] = field(default_factory=list)
+    per_query: List[Dict] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Cold-workload wall-time ratio (> 1 means compact wins)."""
+        if self.compact_seconds <= 0.0:
+            return 0.0
+        return self.lazy_seconds / self.compact_seconds
+
+    def to_json(self) -> Dict:
+        """The ``BENCH_compact_kernel.json`` payload."""
+        return {
+            "benchmark": "compact_kernel",
+            "preset": self.preset,
+            "scale": self.scale,
+            "num_queries": self.num_queries,
+            "k": self.k,
+            "num_entities": self.num_entities,
+            "num_edges": self.num_edges,
+            "freeze_seconds": self.freeze_seconds,
+            "lazy_seconds": self.lazy_seconds,
+            "compact_seconds": self.compact_seconds,
+            "speedup": self.speedup,
+            "equivalent": self.equivalent,
+            "mismatches": self.mismatches,
+            "per_query": self.per_query,
+        }
+
+
+def _matches_differ(qid: str, lazy: QueryResult, compact: QueryResult) -> Optional[str]:
+    """A description of the first result difference, or ``None`` if equal.
+
+    Byte-identical means: same match count and order, same pivot uids,
+    bit-equal scores and pss, and equal path steps per sub-match.
+    """
+    if len(lazy.matches) != len(compact.matches):
+        return (
+            f"{qid}: match count {len(lazy.matches)} != {len(compact.matches)}"
+        )
+    for rank, (a, b) in enumerate(zip(lazy.matches, compact.matches)):
+        if a.pivot_uid != b.pivot_uid:
+            return f"{qid}#{rank}: pivot {a.pivot_uid} != {b.pivot_uid}"
+        if a.score != b.score:
+            return f"{qid}#{rank}: score {a.score!r} != {b.score!r}"
+        if sorted(a.components) != sorted(b.components):
+            return f"{qid}#{rank}: component sub-queries differ"
+        for index, pa in a.components.items():
+            pb = b.components[index]
+            if pa.pss != pb.pss:
+                return f"{qid}#{rank}/g{index}: pss {pa.pss!r} != {pb.pss!r}"
+            if pa.path != pb.path:
+                return f"{qid}#{rank}/g{index}: path differs"
+    return None
+
+
+def _sweep_seconds(engine: SemanticGraphQueryEngine, queries, k: int) -> float:
+    """Wall time of one full cold sweep (no shared cache, fresh views)."""
+    start = time.perf_counter()
+    for query in queries:
+        engine.search(query, k=k)
+    return time.perf_counter() - start
+
+
+def compare_kernels(
+    bundle: DatasetBundle,
+    *,
+    k: int = 10,
+    passes: int = 2,
+    scale: float = 0.0,
+    collect_per_query: bool = True,
+) -> KernelComparison:
+    """Run the lazy-vs-compact comparison over ``bundle``'s workload.
+
+    Args:
+        bundle: dataset bundle (graph + space + workload).
+        k: top-k per query.
+        passes: timed sweeps per kernel; best-of is reported (the usual
+            defence against scheduler noise).
+        scale: recorded in the report (the bundle does not carry it).
+        collect_per_query: include per-query timings in the payload.
+    """
+    if passes < 1:
+        raise ReproError(f"passes must be at least 1, got {passes}")
+    queries = [q.query for q in bundle.workload]
+    qids = [q.qid for q in bundle.workload]
+
+    lazy_engine = SemanticGraphQueryEngine(bundle.kg, bundle.space, bundle.library)
+
+    freeze_start = time.perf_counter()
+    frozen = CompactGraph.freeze(bundle.kg)
+    freeze_seconds = time.perf_counter() - freeze_start
+    compact_engine = SemanticGraphQueryEngine(
+        bundle.kg,
+        bundle.space,
+        bundle.library,
+        view_factory=CompactViewFactory(frozen),
+    )
+
+    # Pre-warm the shared PredicateSpace row cache: both engines read the
+    # same space, so whichever kernel ran first would otherwise pay each
+    # query predicate's first matvec for both — biasing the per-query
+    # comparison (the steady state has warm rows anyway).
+    for query in queries:
+        for edge in query.edges():
+            if edge.predicate in bundle.space:
+                bundle.space.similarity_row(edge.predicate)
+
+    # -- equivalence first (also warms matcher memos identically) --------
+    mismatches: List[str] = []
+    per_query: List[Dict] = []
+    for qid, query in zip(qids, queries):
+        lazy_start = time.perf_counter()
+        lazy_result = lazy_engine.search(query, k=k)
+        lazy_elapsed = time.perf_counter() - lazy_start
+        compact_start = time.perf_counter()
+        compact_result = compact_engine.search(query, k=k)
+        compact_elapsed = time.perf_counter() - compact_start
+        problem = _matches_differ(qid, lazy_result, compact_result)
+        if problem is not None:
+            mismatches.append(problem)
+        if collect_per_query:
+            per_query.append(
+                {
+                    "qid": qid,
+                    "matches": len(lazy_result.matches),
+                    "lazy_ms": lazy_elapsed * 1000.0,
+                    "compact_ms": compact_elapsed * 1000.0,
+                }
+            )
+
+    # -- then timing: best-of-N full cold sweeps per kernel --------------
+    lazy_seconds = min(_sweep_seconds(lazy_engine, queries, k) for _ in range(passes))
+    compact_seconds = min(
+        _sweep_seconds(compact_engine, queries, k) for _ in range(passes)
+    )
+
+    return KernelComparison(
+        preset=bundle.preset,
+        scale=scale,
+        num_queries=len(queries),
+        k=k,
+        num_entities=bundle.kg.num_entities,
+        num_edges=bundle.kg.num_edges,
+        freeze_seconds=freeze_seconds,
+        lazy_seconds=lazy_seconds,
+        compact_seconds=compact_seconds,
+        equivalent=not mismatches,
+        mismatches=mismatches,
+        per_query=per_query,
+    )

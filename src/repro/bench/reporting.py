@@ -7,6 +7,7 @@ can be lifted into EXPERIMENTS.md verbatim.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -76,3 +77,16 @@ def emit(name: str, text: str) -> None:
     target = results_dir() / f"{name}.txt"
     with target.open("w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable report as ``benchmarks/results/<name>.json``.
+
+    Used for ``BENCH_*.json`` artifacts that CI uploads (e.g. the
+    compact-kernel equivalence/speedup report); returns the written path.
+    """
+    target = results_dir() / f"{name}.json"
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target

@@ -21,12 +21,14 @@ from typing import List, Optional, Sequence
 
 from repro.core.assembly import MatchStream, assemble_top_k
 from repro.core.astar import SubQuerySearch
+from repro.core.compact_view import CompactViewFactory, ViewFactory, lazy_view_factory
 from repro.core.config import SearchConfig
 from repro.core.results import QueryResult
-from repro.core.semantic_graph import SemanticGraphView, WeightCache
+from repro.core.semantic_graph import SemanticGraphView, WeightCache, WeightedGraphView
 from repro.core.time_bounded import TimeBoundedCoordinator
 from repro.embedding.predicate_space import PredicateSpace
 from repro.errors import SearchError
+from repro.kg.compact import CompactGraph
 from repro.kg.graph import KnowledgeGraph
 from repro.query.decompose import Decomposition, decompose_query
 from repro.query.model import QueryGraph
@@ -46,10 +48,18 @@ class SemanticGraphQueryEngine:
         weight_cache: optional cross-query
             :class:`~repro.core.semantic_graph.WeightCache` (e.g. the
             serving layer's ``SemanticGraphCache``).  When set, every
-            query's :class:`SemanticGraphView` is backed by it, so
-            repeated queries stop re-weighting the same knowledge-graph
-            edges; when ``None`` each query builds a private view, the
-            paper's one-shot behaviour.
+            query's view is backed by it, so repeated queries stop
+            re-weighting the same knowledge-graph edges; when ``None``
+            each query builds a private view, the paper's one-shot
+            behaviour.
+        view_factory: the view-construction seam — a callable
+            ``(kg, space, *, min_weight, cache) -> WeightedGraphView``.
+            Default builds the paper's lazy :class:`SemanticGraphView`.
+        compact: convenience flag: build views over the frozen CSR kernel
+            (:class:`~repro.core.compact_view.CompactViewFactory`), which
+            vectorises weight materialisation and ``m(u)`` bounds.
+            Results are identical to the lazy view; only cost changes.
+            Mutually exclusive with ``view_factory``.
     """
 
     def __init__(
@@ -60,16 +70,28 @@ class SemanticGraphQueryEngine:
         config: Optional[SearchConfig] = None,
         *,
         weight_cache: Optional[WeightCache] = None,
+        view_factory: Optional[ViewFactory] = None,
+        compact: bool = False,
     ):
+        if compact and view_factory is not None:
+            raise SearchError("pass either compact=True or view_factory, not both")
         self.kg = kg
         self.space = space
         self.config = config if config is not None else SearchConfig()
         self.matcher = NodeMatcher(kg, library)
         self.weight_cache = weight_cache
+        if compact:
+            # Freeze eagerly: construction is the predictable place to
+            # pay the O(V+E) snapshot, not the first query's latency.
+            self.view_factory: ViewFactory = CompactViewFactory(
+                CompactGraph.freeze(kg)
+            )
+        else:
+            self.view_factory = view_factory or lazy_view_factory
 
-    def _make_view(self) -> SemanticGraphView:
+    def _make_view(self) -> WeightedGraphView:
         """A per-query ``SG_Q`` view, shared-cache-backed when configured."""
-        return SemanticGraphView(
+        return self.view_factory(
             self.kg,
             self.space,
             min_weight=self.config.min_weight,
@@ -99,7 +121,7 @@ class SemanticGraphQueryEngine:
     def _build_searches(
         self,
         decomposition: Decomposition,
-        view: SemanticGraphView,
+        view: WeightedGraphView,
         clock: Optional[Clock] = None,
     ) -> List[SubQuerySearch]:
         return [
@@ -146,8 +168,11 @@ class SemanticGraphQueryEngine:
         streams = [MatchStream(search.next_match) for search in searches]
         assembly = assemble_top_k(streams, k, exhaustive=exhaustive_assembly)
         for search in searches:
-            search.stats.nodes_touched = view.touched_nodes
-            search.stats.edges_weighted = view.edges_weighted
+            # getattr: the stats attributes are view extras, not part of
+            # the WeightedGraphView protocol a custom view_factory must
+            # satisfy — a minimal view just reports zeros.
+            search.stats.nodes_touched = getattr(view, "touched_nodes", 0)
+            search.stats.edges_weighted = getattr(view, "edges_weighted", 0)
         return QueryResult(
             matches=assembly.matches,
             elapsed_seconds=watch.elapsed(),
@@ -194,8 +219,11 @@ class SemanticGraphQueryEngine:
         streams = [MatchStream.from_list(harvest) for harvest in outcome.harvests]
         assembly = assemble_top_k(streams, k)
         for search in searches:
-            search.stats.nodes_touched = view.touched_nodes
-            search.stats.edges_weighted = view.edges_weighted
+            # getattr: the stats attributes are view extras, not part of
+            # the WeightedGraphView protocol a custom view_factory must
+            # satisfy — a minimal view just reports zeros.
+            search.stats.nodes_touched = getattr(view, "touched_nodes", 0)
+            search.stats.edges_weighted = getattr(view, "edges_weighted", 0)
         return QueryResult(
             matches=assembly.matches,
             elapsed_seconds=watch.elapsed(),

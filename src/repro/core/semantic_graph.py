@@ -63,11 +63,33 @@ class WeightCache(Protocol):
         ...
 
 
+class RowWeightCache(WeightCache, Protocol):
+    """A :class:`WeightCache` that can also share whole-graph *rows*.
+
+    A "row" is an opaque value covering one query predicate against the
+    entire bound graph — e.g. the vector of clamped weights per interned
+    graph-predicate id, or the vector of ``m(u)`` bounds per node.  Rows
+    are the compact kernel's unit of sharing; they are immutable by
+    contract and obey the same purity/evictability invariants as pair
+    entries.  Row support is *optional* for cache implementations:
+    compact views probe for it at runtime and simply skip the shared
+    cache when absent (``SemanticGraphCache`` implements it).
+    """
+
+    def get_row(self, kind: str, query_predicate: str) -> Optional[object]:
+        ...
+
+    def put_row(self, kind: str, query_predicate: str, row: object) -> None:
+        ...
+
+
 class WeightedGraphView(Protocol):
     """What the A* search needs from a semantic-graph view.
 
-    Kept minimal so alternative backends (shard proxies, precomputed
-    matrices) can stand in for :class:`SemanticGraphView`.
+    Kept minimal so alternative backends can stand in for
+    :class:`SemanticGraphView` — the numpy-backed
+    :class:`~repro.core.compact_view.CompactSemanticGraphView` today,
+    shard proxies later.
     """
 
     def weighted_incident(
@@ -109,8 +131,12 @@ class SemanticGraphView:
         if cache is not None:
             # The fingerprint holds the objects themselves (not id()s):
             # the cache keeps them alive, so identity can never be
-            # recycled onto a different graph/space.
-            cache.bind((kg, space, min_weight))
+            # recycled onto a different graph/space.  It also pins the
+            # graph's shape: the store is append-only, so a changed
+            # entity/edge count is the one possible mutation — and it
+            # invalidates cached m(u) bounds (and compact rows), so a
+            # grown graph must get a fresh cache, loudly.
+            cache.bind((kg, space, min_weight, kg.num_entities, kg.num_edges))
         # L1, per query: (query predicate, graph predicate) -> clamped weight
         self._weight_cache: Dict[Tuple[str, str], float] = {}
         # L1, per query: (uid, query predicate) -> max adjacent weight

@@ -1,30 +1,77 @@
 """The predicate semantic space E = {e1...en} of Section IV-A.
 
-Maps each predicate name to its semantic vector and answers the two
-questions the rest of the system asks:
+Maps each predicate name to its semantic vector and answers the questions
+the rest of the system asks:
 
 - ``similarity(a, b)`` — the cosine of Eq. 5, used as semantic-graph edge
   weights;
+- ``similarity_row(p)`` / ``similarity_matrix(preds)`` — the cosines of
+  one (or several) predicates against **all** predicates at once, one
+  matvec per row.  The compact graph kernel
+  (:mod:`repro.core.compact_view`) materialises a whole query predicate's
+  weights this way instead of one pair at a time;
 - ``top_similar(p, n)`` — the n most similar predicates, used by the edge-
   noise experiment (Section VII-E replaces a predicate with one of its
   top-10 neighbours) and by debugging tools.
 
-Pairwise similarities are memoised: the A* search asks for the same
-(query-predicate, graph-predicate) pair once per touched edge, and graphs
-have few distinct predicates relative to edges.
+Memoisation is **row-level and bounded**: the space keeps an LRU of
+similarity rows (one ``float64`` vector per predicate asked about), and
+``similarity(a, b)`` reads element ``b`` of row ``a``.  Query workloads
+ask about few distinct predicates but pair each with every graph
+predicate, so a row is exactly the reuse unit — and unlike the old
+per-pair dict, the LRU cannot grow without bound under workload replay.
+Row reads also make the scalar and vector paths bit-identical: both
+serve from the same matvec output.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import EmbeddingError, UnknownPredicateError
 
 
+@dataclass
+class SpaceCacheStats:
+    """Snapshot of the similarity-row cache (mirrors ``CacheStats``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of row lookups served from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"row cache: hit_rate={self.hit_rate:.3f} "
+            f"(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, entries={self.entries}/{self.capacity})"
+        )
+
+
 class PredicateSpace:
     """Immutable predicate → unit-vector mapping with cosine queries.
+
+    Args:
+        vectors: predicate name → vector mapping (normalised internally).
+        max_cached_rows: LRU bound on memoised similarity rows.  Each row
+            costs ``8 × len(space)`` bytes; eviction only ever costs a
+            recomputed matvec.
 
     >>> import numpy as np
     >>> space = PredicateSpace({"a": np.array([1.0, 0.0]), "b": np.array([1.0, 1.0])})
@@ -32,9 +79,13 @@ class PredicateSpace:
     0.7071
     """
 
-    def __init__(self, vectors: Mapping[str, np.ndarray]):
+    def __init__(self, vectors: Mapping[str, np.ndarray], *, max_cached_rows: int = 256):
         if not vectors:
             raise EmbeddingError("predicate space needs at least one vector")
+        if max_cached_rows < 1:
+            raise EmbeddingError(
+                f"max_cached_rows must be at least 1, got {max_cached_rows}"
+            )
         dims = {np.asarray(v).shape for v in vectors.values()}
         if len(dims) != 1:
             raise EmbeddingError(f"inconsistent vector shapes: {sorted(dims)}")
@@ -49,7 +100,17 @@ class PredicateSpace:
         if np.any(norms == 0):
             raise EmbeddingError("zero-norm predicate vector")
         self._matrix = matrix / norms
-        self._cache: Dict[Tuple[int, int], float] = {}
+        # Bounded LRU of similarity rows: predicate index -> read-only row.
+        # Locked: one space is shared by every QueryService worker thread,
+        # and an unsynchronised LRU could evict an entry between a get and
+        # its move_to_end (KeyError mid-query).  The critical section is
+        # dict bookkeeping or one small matvec — far below query cost.
+        self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._rows_lock = threading.Lock()
+        self._max_rows = max_cached_rows
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     @property
@@ -65,36 +126,102 @@ class PredicateSpace:
     def __len__(self) -> int:
         return len(self._names)
 
-    def vector(self, predicate: str) -> np.ndarray:
-        """The (unit-normalised) vector of ``predicate``."""
+    def index_of(self, predicate: str) -> int:
+        """The stable row index of ``predicate`` in this space."""
         try:
-            return self._matrix[self._index[predicate]]
+            return self._index[predicate]
         except KeyError:
             raise UnknownPredicateError(predicate) from None
 
+    def vector(self, predicate: str) -> np.ndarray:
+        """The (unit-normalised) vector of ``predicate``."""
+        return self._matrix[self.index_of(predicate)]
+
     # ------------------------------------------------------------------
+    def _row(self, index: int) -> np.ndarray:
+        """The memoised cosine row of predicate ``index`` (read-only)."""
+        with self._rows_lock:
+            row = self._rows.get(index)
+            if row is not None:
+                self._rows.move_to_end(index)
+                self._hits += 1
+                return row
+            self._misses += 1
+            # Elementwise product + per-row pairwise sum, NOT a BLAS
+            # matvec: the reduction order is then identical for row(a)[b]
+            # and row(b)[a], which keeps Eq. 5 exactly symmetric at the
+            # ulp level (gemv blocking does not promise that).
+            row = (self._matrix * self._matrix[index]).sum(axis=1)
+            # The self-cosine is exactly 1.0 by definition; the product
+            # sum only promises it to rounding error.  Pin it so scalar
+            # callers see the identity the paper's Eq. 5 assumes.
+            row[index] = 1.0
+            row.flags.writeable = False
+            self._rows[index] = row
+            while len(self._rows) > self._max_rows:
+                self._rows.popitem(last=False)
+                self._evictions += 1
+            return row
+
     def similarity(self, a: str, b: str) -> float:
-        """Cosine similarity (Eq. 5) in [-1, 1]; 1.0 when ``a == b``."""
-        try:
-            ia = self._index[a]
-        except KeyError:
-            raise UnknownPredicateError(a) from None
-        try:
-            ib = self._index[b]
-        except KeyError:
-            raise UnknownPredicateError(b) from None
+        """Cosine similarity (Eq. 5) in [-1, 1]; 1.0 when ``a == b``.
+
+        Served from the memoised row of ``a`` — one matvec the first time
+        ``a`` is asked about, an array read afterwards.
+        """
+        ia = self.index_of(a)
+        ib = self.index_of(b)
         if ia == ib:
             return 1.0
-        key = (ia, ib) if ia < ib else (ib, ia)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = float(self._matrix[ia] @ self._matrix[ib])
-            self._cache[key] = cached
-        return cached
+        return float(self._row(ia)[ib])
+
+    def similarity_row(self, predicate: str) -> np.ndarray:
+        """Cosines of ``predicate`` against every predicate, space order.
+
+        One matvec materialises the whole row (Eq. 5 against all graph
+        predicates at once); the result is cached, read-only, and indexed
+        by :meth:`index_of`.  ``row[index_of(predicate)]`` is exactly 1.0.
+        """
+        return self._row(self.index_of(predicate))
+
+    def similarity_matrix(self, predicates: Sequence[str]) -> np.ndarray:
+        """Stacked :meth:`similarity_row` for several predicates.
+
+        Shape ``(len(predicates), len(space))``, row order following the
+        argument.  Rows come from (and feed) the same cache as
+        :meth:`similarity_row`, so values are bit-identical to the scalar
+        path.
+        """
+        if len(predicates) == 0:
+            return np.empty((0, len(self._names)))
+        return np.stack([self.similarity_row(p) for p in predicates])
+
+    # The lock is process-local; pickling (e.g. shipping a space to a
+    # multiprocess worker next to a pickled CompactGraph) drops it and
+    # the receiving process recreates a fresh one.
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        del state["_rows_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._rows_lock = threading.Lock()
+
+    def stats(self) -> SpaceCacheStats:
+        """Hit/miss/eviction counters of the similarity-row cache."""
+        with self._rows_lock:
+            return SpaceCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._rows),
+                capacity=self._max_rows,
+            )
 
     def similarities_to(self, predicate: str) -> Dict[str, float]:
         """Cosine from ``predicate`` to every predicate (including itself)."""
-        row = self._matrix @ self.vector(predicate)
+        row = self.similarity_row(predicate)
         return {name: float(row[i]) for i, name in enumerate(self._names)}
 
     def top_similar(

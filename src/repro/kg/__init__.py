@@ -1,5 +1,6 @@
 """Knowledge-graph substrate: storage, triples I/O, schemas, generators."""
 
+from repro.kg.compact import CompactGraph
 from repro.kg.graph import Edge, Entity, KnowledgeGraph
 from repro.kg.paths import Path, PathStep, enumerate_paths
 from repro.kg.schema import DomainSchema, PredicateSpec, SynonymFamily
@@ -7,6 +8,7 @@ from repro.kg.triples import Triple, read_triples, write_triples
 from repro.kg.generator import GeneratorConfig, SyntheticKGBuilder
 
 __all__ = [
+    "CompactGraph",
     "Edge",
     "Entity",
     "KnowledgeGraph",

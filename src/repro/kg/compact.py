@@ -1,0 +1,289 @@
+"""Compact, numpy-backed knowledge-graph kernel (frozen CSR incidence).
+
+:class:`~repro.kg.graph.KnowledgeGraph` is an object graph — ``Edge``
+dataclasses in per-node lists — which is the right shape for construction
+and for returning human-readable matches, but the wrong shape for the A*
+hot loop: every ``incident`` call walks Python objects, every weight is a
+dict probe, and every ``m(u)`` bound (Lemma 1) is a per-node Python scan.
+
+:class:`CompactGraph` freezes that object graph into interned id tables
+plus an **undirected-incidence CSR**:
+
+- ``indptr[u] : indptr[u + 1]`` delimits node ``u``'s incidence slots
+  (each edge occupies two slots, one per endpoint);
+- ``slot_neighbor[s]`` is the *other* endpoint of slot ``s`` — the
+  ``Edge.other`` branch is resolved once at freeze time and leaves the
+  hot loop;
+- ``slot_predicate[s]`` is the interned predicate id, the index into any
+  per-query-predicate weight row (see
+  :class:`repro.core.compact_view.CompactSemanticGraphView`);
+- ``slot_edge[s]`` is the edge id, an index into the edge table for the
+  rare moments a real :class:`~repro.kg.graph.Edge` is needed
+  (:meth:`CompactGraph.edge` — ``PathMatch`` assembly, result rendering).
+
+``slot_forward``, ``entity_type`` and the type id tables are not read by
+today's search path; they complete the numeric snapshot for the ROADMAP
+consumers (sharded stores partition by entity/type, and a vectorised
+``NodeMatcher`` filters candidates by type id) so freezing does not need
+to be redone when those land.
+
+Slot order within a node is exactly ``KnowledgeGraph.incident`` order, so
+a search over the compact kernel expands states in the same sequence as
+one over the object graph — which is what makes the two views'
+results byte-identical, heap tie-breaks included.
+
+The store is append-only (no deletions), so freezing is safe: a frozen
+kernel is immutable and :meth:`CompactGraph.is_stale` detects a graph
+that has since grown.  All index state is plain int arrays — picklable
+and shardable, unlike the object graph — which is what the ROADMAP's
+multiprocess-worker and sharded-store items need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.kg.graph import Edge, KnowledgeGraph
+
+
+class CompactGraph:
+    """Frozen CSR snapshot of a :class:`~repro.kg.graph.KnowledgeGraph`.
+
+    Build one with :meth:`freeze`; instances are immutable.  The original
+    graph is kept (``self.kg``) so weight caches bound to the object graph
+    can be shared with compact views, and so edge objects are *reused*
+    rather than copied — a path match from a compact search holds the very
+    same ``Edge`` instances a lazy search would.
+
+    >>> kg = KnowledgeGraph()
+    >>> a = kg.add_entity("Audi_TT", "Automobile")
+    >>> g = kg.add_entity("Germany", "Country")
+    >>> _ = kg.add_edge(a.uid, "assembly", g.uid)
+    >>> compact = CompactGraph.freeze(kg)
+    >>> compact.num_nodes, compact.num_edges
+    (2, 1)
+    >>> int(compact.slot_neighbor[compact.indptr[0]])
+    1
+    """
+
+    __slots__ = (
+        "__weakref__",  # weak-keyed per-(graph, space) memos in compact_view
+        "kg",
+        "num_nodes",
+        "num_edges",
+        "predicate_names",
+        "predicate_index",
+        "type_names",
+        "type_index",
+        "entity_type",
+        "edge_source",
+        "edge_target",
+        "edge_predicate",
+        "indptr",
+        "slot_neighbor",
+        "slot_predicate",
+        "slot_edge",
+        "slot_forward",
+        "node_slots",
+        "_edges",
+    )
+
+    # Derived-object state: reconstructable from the arrays, so pickling
+    # ships only numeric tables (plus name strings) — not the object
+    # graph the kernel exists to replace.
+    _TRANSIENT = ("__weakref__", "kg", "node_slots", "_edges")
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            if name == "__weakref__":
+                continue
+            object.__setattr__(self, name, fields[name])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(cls, kg: KnowledgeGraph) -> "CompactGraph":
+        """Snapshot ``kg`` into interned tables + an incidence CSR.
+
+        O(V + E); every derived array is written once and never mutated.
+        """
+        num_nodes = kg.num_entities
+        predicate_names = kg.predicates()
+        predicate_index = {name: i for i, name in enumerate(predicate_names)}
+        type_names = kg.types()
+        type_index = {name: i for i, name in enumerate(type_names)}
+
+        entity_type = np.fromiter(
+            (type_index[entity.etype] for entity in kg.entities()),
+            dtype=np.int32,
+            count=num_nodes,
+        )
+
+        # Edge table: one deterministic id per directed edge, in per-source
+        # insertion order.  The Edge objects are shared with kg, not copied.
+        edges: List[Edge] = []
+        edge_id: Dict[Edge, int] = {}
+        for uid in range(num_nodes):
+            for edge, _target in kg.out_incident(uid):
+                edge_id[edge] = len(edges)
+                edges.append(edge)
+        num_edges = len(edges)
+        edge_source = np.fromiter(
+            (edge.source for edge in edges), dtype=np.int64, count=num_edges
+        )
+        edge_target = np.fromiter(
+            (edge.target for edge in edges), dtype=np.int64, count=num_edges
+        )
+        edge_predicate = np.fromiter(
+            (predicate_index[edge.predicate] for edge in edges),
+            dtype=np.int32,
+            count=num_edges,
+        )
+
+        # Undirected-incidence CSR, slot order == KnowledgeGraph.incident
+        # order (load-bearing: it keeps compact and lazy searches
+        # expanding in the same sequence).
+        num_slots = 2 * num_edges
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        slot_neighbor = np.empty(num_slots, dtype=np.int64)
+        slot_predicate = np.empty(num_slots, dtype=np.int32)
+        slot_edge = np.empty(num_slots, dtype=np.int64)
+        slot_forward = np.empty(num_slots, dtype=bool)
+        # Python mirror of the CSR for the scalar hot loop: per node, a
+        # tuple of (edge, other endpoint, predicate id) triples.  The A*
+        # expansion iterates this directly — no per-call array slicing,
+        # no np-scalar boxing — while vectorized ops (segment-max bounds)
+        # read the flat arrays.
+        node_slots: List[Tuple[Tuple[Edge, int, int], ...]] = []
+        cursor = 0
+        for uid in range(num_nodes):
+            triples: List[Tuple[Edge, int, int]] = []
+            for edge, neighbor in kg.incident_list(uid):
+                eid = edge_id[edge]
+                pid = int(edge_predicate[eid])
+                slot_neighbor[cursor] = neighbor
+                slot_edge[cursor] = eid
+                slot_predicate[cursor] = pid
+                slot_forward[cursor] = edge.source == uid
+                triples.append((edge, neighbor, pid))
+                cursor += 1
+            node_slots.append(tuple(triples))
+            indptr[uid + 1] = cursor
+        if cursor != num_slots:  # pragma: no cover - append-only invariant
+            raise GraphError(
+                f"incidence slots ({cursor}) disagree with edge count "
+                f"({num_edges}); graph mutated during freeze?"
+            )
+
+        return cls(
+            kg=kg,
+            num_nodes=num_nodes,
+            num_edges=num_edges,
+            predicate_names=predicate_names,
+            predicate_index=predicate_index,
+            type_names=type_names,
+            type_index=type_index,
+            entity_type=entity_type,
+            edge_source=edge_source,
+            edge_target=edge_target,
+            edge_predicate=edge_predicate,
+            indptr=indptr,
+            slot_neighbor=slot_neighbor,
+            slot_predicate=slot_predicate,
+            slot_edge=slot_edge,
+            slot_forward=slot_forward,
+            node_slots=node_slots,
+            _edges=edges,
+        )
+
+    # ------------------------------------------------------------------
+    # escape hatches back to the object graph
+    # ------------------------------------------------------------------
+    def edge(self, eid: int) -> Edge:
+        """The real :class:`Edge` behind edge id ``eid``.
+
+        Escape hatch for match assembly and rendering — the returned
+        object is the one the source graph stores, so identity-based
+        comparisons against lazy-view results hold.
+        """
+        return self._edges[eid]
+
+    def to_edge(self, eid: int) -> Edge:
+        """Alias of :meth:`edge` (the documented escape-hatch name)."""
+        return self._edges[eid]
+
+    @property
+    def edges(self) -> List[Edge]:
+        """The edge table (edge id → :class:`Edge`); do not mutate."""
+        return self._edges
+
+    def degree(self, uid: int) -> int:
+        """Undirected degree of ``uid`` (CSR row length)."""
+        return int(self.indptr[uid + 1] - self.indptr[uid])
+
+    # ------------------------------------------------------------------
+    def is_stale(self, kg: Optional[KnowledgeGraph] = None) -> bool:
+        """Whether the source graph grew after this freeze.
+
+        Append-only growth is the only possible mutation, so comparing
+        entity/edge counts is a complete staleness check.  An unpickled
+        kernel has no source graph (``self.kg is None``) and is a shipped
+        snapshot by definition — never stale unless a graph is passed in.
+        """
+        source = kg if kg is not None else self.kg
+        if source is None:
+            return False
+        return (
+            source.num_entities != self.num_nodes
+            or source.num_edges != self.num_edges
+        )
+
+    # ------------------------------------------------------------------
+    # Pickle plumbing (__slots__ classes need it explicitly).  Only the
+    # numeric tables travel: the source-kg reference, the edge-object
+    # table, and the per-node slot mirror are dropped and rebuilt on
+    # load, so shipping a kernel to a worker process costs the arrays —
+    # not the object graph the kernel exists to replace.  An unpickled
+    # kernel has ``kg is None``; views fall back to the kernel itself as
+    # their cache-binding identity.
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in self._TRANSIENT
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "kg", None)
+        predicate_names = self.predicate_names
+        edges = [
+            Edge(source=source, predicate=predicate_names[pid], target=target)
+            for source, pid, target in zip(
+                self.edge_source.tolist(),
+                self.edge_predicate.tolist(),
+                self.edge_target.tolist(),
+            )
+        ]
+        object.__setattr__(self, "_edges", edges)
+        indptr = self.indptr.tolist()
+        slot_edge = self.slot_edge.tolist()
+        slot_neighbor = self.slot_neighbor.tolist()
+        slot_predicate = self.slot_predicate.tolist()
+        node_slots = [
+            tuple(
+                (edges[slot_edge[s]], slot_neighbor[s], slot_predicate[s])
+                for s in range(indptr[uid], indptr[uid + 1])
+            )
+            for uid in range(self.num_nodes)
+        ]
+        object.__setattr__(self, "node_slots", node_slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"predicates={len(self.predicate_names)}, types={len(self.type_names)})"
+        )

@@ -18,6 +18,7 @@ consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import GraphError, UnknownEntityError
@@ -81,8 +82,15 @@ class KnowledgeGraph:
     def __init__(self, name: str = "kg"):
         self.name = name
         self._entities: List[Entity] = []
-        self._out: Dict[int, List[Edge]] = {}
-        self._in: Dict[int, List[Edge]] = {}
+        # The adjacency indexes: (edge, other endpoint) pairs precomputed
+        # at add_edge time, split by direction so undirected iteration
+        # keeps the historical out-edges-then-in-edges order (search
+        # tie-breaks depend on it).  incident() — the search layer's
+        # hottest graph call — is then a plain chained walk; the
+        # direction-specific edge lists are derived on demand (cold
+        # paths only), so each edge is indexed exactly twice.
+        self._incident_out: Dict[int, List[Tuple[Edge, int]]] = {}
+        self._incident_in: Dict[int, List[Tuple[Edge, int]]] = {}
         self._by_type: Dict[str, List[int]] = {}
         self._by_name: Dict[str, List[int]] = {}
         self._predicates: Dict[str, int] = {}
@@ -102,8 +110,8 @@ class KnowledgeGraph:
         uid = len(self._entities)
         entity = Entity(uid=uid, name=name, etype=etype)
         self._entities.append(entity)
-        self._out[uid] = []
-        self._in[uid] = []
+        self._incident_out[uid] = []
+        self._incident_in[uid] = []
         self._by_type.setdefault(etype, []).append(uid)
         self._by_name.setdefault(name, []).append(uid)
         return entity
@@ -125,8 +133,8 @@ class KnowledgeGraph:
             return None
         edge = Edge(source=source, predicate=predicate, target=target)
         self._edge_set.add(key)
-        self._out[source].append(edge)
-        self._in[target].append(edge)
+        self._incident_out[source].append((edge, target))
+        self._incident_in[target].append((edge, source))
         self._predicates[predicate] = self._predicates.get(predicate, 0) + 1
         return edge
 
@@ -171,31 +179,74 @@ class KnowledgeGraph:
     # traversal
     # ------------------------------------------------------------------
     def out_edges(self, uid: int) -> List[Edge]:
-        """Directed edges leaving ``uid``."""
+        """Directed edges leaving ``uid`` (a fresh O(degree) list).
+
+        Loop-heavy callers should prefer :meth:`out_incident`, which
+        returns the stored pairs without copying.
+        """
         self._check_uid(uid)
-        return self._out[uid]
+        return [edge for edge, _other in self._incident_out[uid]]
 
     def in_edges(self, uid: int) -> List[Edge]:
-        """Directed edges entering ``uid``."""
+        """Directed edges entering ``uid`` (a fresh O(degree) list).
+
+        Loop-heavy callers should prefer :meth:`in_incident`.
+        """
         self._check_uid(uid)
-        return self._in[uid]
+        return [edge for edge, _other in self._incident_in[uid]]
+
+    def out_incident(self, uid: int) -> List[Tuple[Edge, int]]:
+        """Live ``(edge, target)`` pairs for edges leaving ``uid``.
+
+        The returned list is the stored index — callers must not mutate
+        it.  Zero-copy counterpart of :meth:`out_edges`.
+        """
+        self._check_uid(uid)
+        return self._incident_out[uid]
+
+    def in_incident(self, uid: int) -> List[Tuple[Edge, int]]:
+        """Live ``(edge, source)`` pairs for edges entering ``uid``.
+
+        The returned list is the stored index — callers must not mutate
+        it.  Zero-copy counterpart of :meth:`in_edges`.
+        """
+        self._check_uid(uid)
+        return self._incident_in[uid]
 
     def incident(self, uid: int) -> Iterator[Tuple[Edge, int]]:
         """Iterate ``(edge, neighbour_uid)`` over all edges touching ``uid``.
 
         Traversal is undirected (paper footnote 1): both outgoing and
-        incoming edges are yielded, paired with the opposite endpoint.
+        incoming edges are yielded, paired with the opposite endpoint —
+        outgoing first, then incoming, each in insertion order (the
+        historical order; equal-score search tie-breaks depend on it).
+        The pairs are precomputed at :meth:`add_edge` time, so iteration
+        is a chained list walk — this is the search layer's hottest
+        graph call.
         """
         self._check_uid(uid)
-        for edge in self._out[uid]:
-            yield edge, edge.target
-        for edge in self._in[uid]:
-            yield edge, edge.source
+        out = self._incident_out[uid]
+        into = self._incident_in[uid]
+        if not into:
+            return iter(out)
+        if not out:
+            return iter(into)
+        return chain(out, into)
+
+    def incident_list(self, uid: int) -> List[Tuple[Edge, int]]:
+        """The precomputed ``(edge, neighbour_uid)`` incidence of ``uid``.
+
+        A fresh concatenated list in :meth:`incident` order.  Freeze-time
+        consumers (:mod:`repro.kg.compact`) use this to avoid walking the
+        two direction indexes themselves.
+        """
+        self._check_uid(uid)
+        return self._incident_out[uid] + self._incident_in[uid]
 
     def degree(self, uid: int) -> int:
         """Undirected degree of ``uid``."""
         self._check_uid(uid)
-        return len(self._out[uid]) + len(self._in[uid])
+        return len(self._incident_out[uid]) + len(self._incident_in[uid])
 
     def neighbors(self, uid: int) -> List[int]:
         """Distinct neighbour ids of ``uid`` (undirected)."""
@@ -249,7 +300,7 @@ class KnowledgeGraph:
         the output round-trips through :mod:`repro.kg.triples`.
         """
         for uid in range(self.num_entities):
-            for edge in self._out[uid]:
+            for edge, _other in self._incident_out[uid]:
                 yield (
                     self._entities[edge.source].name,
                     edge.predicate,

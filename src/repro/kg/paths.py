@@ -162,13 +162,13 @@ def follow_pattern(
         next_frontier: Set[int] = set()
         for uid in frontier:
             if direction == "+":
-                for edge in kg.out_edges(uid):
+                for edge, target in kg.out_incident(uid):
                     if edge.predicate == predicate:
-                        next_frontier.add(edge.target)
+                        next_frontier.add(target)
             else:
-                for edge in kg.in_edges(uid):
+                for edge, source in kg.in_incident(uid):
                     if edge.predicate == predicate:
-                        next_frontier.add(edge.source)
+                        next_frontier.add(source)
         frontier = next_frontier
         if not frontier:
             break

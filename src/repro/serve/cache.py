@@ -16,6 +16,13 @@ workload of repeated or overlapping queries can share them.
   a full incident-edge scan, which makes this map the dominant saving on
   repeated workloads (every A* estimate needs an ``m(u)``).
 
+A third LRU map holds **rows** — opaque whole-graph vectors keyed by
+``(kind, query predicate)`` — for the compact CSR kernel
+(:mod:`repro.core.compact_view`), whose unit of sharing is one query
+predicate against the entire graph (``kind="weights"``: clamped weight
+per interned graph-predicate id; ``kind="bounds"``: ``m(u)`` per node).
+Rows are treated as immutable by contract; the cache never copies them.
+
 Eviction never affects correctness — a miss recomputes — so the LRU bound
 is purely a memory ceiling.  All operations take one lock; the critical
 sections are dict lookups, far cheaper than the graph traversal they
@@ -25,7 +32,10 @@ replace.  Hit/miss/eviction counts are kept per map and aggregated by
 The cache must be *bound* to exactly one (graph, space, ``min_weight``)
 combination before use (views do this automatically); re-binding to a
 different combination raises — serving weights from a different predicate
-space would corrupt results silently.
+space would corrupt results silently.  The fingerprint views bind also
+carries the graph's entity/edge counts, so growing the append-only graph
+under a live cache raises at the next view construction instead of
+silently serving stale ``m(u)`` bounds or rows.
 """
 
 from __future__ import annotations
@@ -48,20 +58,24 @@ class CacheStats:
     adjacency_hits: int = 0
     adjacency_misses: int = 0
     adjacency_evictions: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_evictions: int = 0
     weight_entries: int = 0
     adjacency_entries: int = 0
+    row_entries: int = 0
 
     @property
     def hits(self) -> int:
-        return self.weight_hits + self.adjacency_hits
+        return self.weight_hits + self.adjacency_hits + self.row_hits
 
     @property
     def misses(self) -> int:
-        return self.weight_misses + self.adjacency_misses
+        return self.weight_misses + self.adjacency_misses + self.row_misses
 
     @property
     def evictions(self) -> int:
-        return self.weight_evictions + self.adjacency_evictions
+        return self.weight_evictions + self.adjacency_evictions + self.row_evictions
 
     @property
     def lookups(self) -> int:
@@ -78,7 +92,8 @@ class CacheStats:
             f"hit_rate={self.hit_rate:.3f} "
             f"(hits={self.hits}, misses={self.misses}, "
             f"evictions={self.evictions}, "
-            f"entries={self.weight_entries}+{self.adjacency_entries})"
+            f"entries={self.weight_entries}+{self.adjacency_entries}"
+            f"+{self.row_entries})"
         )
 
 
@@ -135,12 +150,26 @@ class SemanticGraphCache:
             ceiling for adversarial predicate churn.
         max_adjacency: capacity of the adjacency map, the memory-heavy one
             (up to ``|touched nodes| × |query predicates seen|`` entries).
+        max_rows: capacity of the row map used by compact views.  The
+            live count is ``2 × |query predicates seen|``; the bound caps
+            adversarial predicate churn.  Unlike the scalar maps, each
+            entry here is a whole-graph vector — bounds rows cost 8 bytes
+            *per graph node* — so deployments on very large graphs should
+            size ``max_rows`` against ``8 × num_nodes`` per entry, not
+            treat it as a near-free ceiling.
     """
 
-    def __init__(self, *, max_pairs: int = 65536, max_adjacency: int = 1_000_000):
+    def __init__(
+        self,
+        *,
+        max_pairs: int = 65536,
+        max_adjacency: int = 1_000_000,
+        max_rows: int = 1024,
+    ):
         self._lock = threading.Lock()
         self._weights = LruMap(max_pairs)
         self._adjacent = LruMap(max_adjacency)
+        self._rows = LruMap(max_rows)
         self._fingerprint: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
@@ -165,8 +194,11 @@ class SemanticGraphCache:
             if not same:
                 raise ServeError(
                     "SemanticGraphCache is already bound to a different "
-                    "(graph, space, min_weight) combination; use one cache "
-                    "per engine configuration"
+                    "(graph, space, min_weight) combination — or the "
+                    "append-only graph has grown since binding, which "
+                    "invalidates cached m(u) bounds and rows.  Use one "
+                    "cache per engine configuration and rebuild it after "
+                    "graph mutation."
                 )
 
     def get_weight(self, query_predicate: str, graph_predicate: str) -> Optional[float]:
@@ -185,6 +217,16 @@ class SemanticGraphCache:
         with self._lock:
             self._adjacent.put((uid, query_predicate), weight)
 
+    def get_row(self, kind: str, query_predicate: str) -> Optional[object]:
+        """One whole-graph row (compact-kernel protocol); ``None`` on miss."""
+        with self._lock:
+            return self._rows.get((kind, query_predicate))
+
+    def put_row(self, kind: str, query_predicate: str, row: object) -> None:
+        """Publish a whole-graph row.  Rows are immutable by contract."""
+        with self._lock:
+            self._rows.put((kind, query_predicate), row)
+
     # ------------------------------------------------------------------
     # introspection / maintenance
     # ------------------------------------------------------------------
@@ -199,19 +241,28 @@ class SemanticGraphCache:
                 adjacency_hits=self._adjacent.hits,
                 adjacency_misses=self._adjacent.misses,
                 adjacency_evictions=self._adjacent.evictions,
+                row_hits=self._rows.hits,
+                row_misses=self._rows.misses,
+                row_evictions=self._rows.evictions,
                 weight_entries=len(self._weights.entries),
                 adjacency_entries=len(self._adjacent.entries),
+                row_entries=len(self._rows.entries),
             )
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._weights.entries) + len(self._adjacent.entries)
+            return (
+                len(self._weights.entries)
+                + len(self._adjacent.entries)
+                + len(self._rows.entries)
+            )
 
     def clear(self) -> None:
         """Drop all entries (the binding and counters survive)."""
         with self._lock:
             self._weights.clear()
             self._adjacent.clear()
+            self._rows.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters (entries survive).
@@ -221,7 +272,7 @@ class SemanticGraphCache:
         cold misses.
         """
         with self._lock:
-            for lru in (self._weights, self._adjacent):
+            for lru in (self._weights, self._adjacent, self._rows):
                 lru.hits = 0
                 lru.misses = 0
                 lru.evictions = 0

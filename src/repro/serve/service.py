@@ -178,10 +178,21 @@ class QueryService:
         space: PredicateSpace,
         library: Optional[TransformationLibrary] = None,
         config: Optional[SearchConfig] = None,
+        *,
+        compact: bool = False,
+        view_factory=None,
         **kwargs,
     ) -> "QueryService":
-        """Build an engine and wrap it in one call."""
-        return cls(SemanticGraphQueryEngine(kg, space, library, config), **kwargs)
+        """Build an engine and wrap it in one call.
+
+        ``compact=True`` serves every query off the frozen CSR kernel
+        (:mod:`repro.core.compact_view`); ``view_factory`` passes a custom
+        view seam through.  Results are identical either way.
+        """
+        engine = SemanticGraphQueryEngine(
+            kg, space, library, config, compact=compact, view_factory=view_factory
+        )
+        return cls(engine, **kwargs)
 
     # ------------------------------------------------------------------
     # submission API

@@ -219,6 +219,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-query TBQ deadline in seconds (default: exact SGQ)",
     )
     parser.add_argument("--workers", type=int, default=4, help="worker threads")
+    parser.add_argument(
+        "--view",
+        default="lazy",
+        choices=("lazy", "compact"),
+        help=(
+            "semantic-graph kernel: 'lazy' is the paper's per-query "
+            "on-demand view, 'compact' the frozen CSR kernel with "
+            "vectorized weights (identical results, different cost)"
+        ),
+    )
     return parser
 
 
@@ -244,14 +254,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     bundle = load_bundle(args.preset, scale=args.scale, seed=args.seed)
     print(
         f"{args.preset}: {bundle.kg.num_entities} entities, "
-        f"{bundle.kg.num_edges} edges, {len(bundle.workload)} queries"
+        f"{bundle.kg.num_edges} edges, {len(bundle.workload)} queries "
+        f"({args.view} view)"
     )
     items = [
         WorkloadItem(query=q.query, k=args.k, deadline=args.deadline, qid=q.qid)
         for q in bundle.workload
     ]
     with QueryService.build(
-        bundle.kg, bundle.space, bundle.library, max_workers=args.workers
+        bundle.kg,
+        bundle.space,
+        bundle.library,
+        max_workers=args.workers,
+        compact=(args.view == "compact"),
     ) as service:
         for run in range(1, args.repeats + 1):
             service.cache.reset_stats()

@@ -223,6 +223,116 @@ class TestPredicateSpace:
             PredicateSpace({"a": np.array([0.0, 0.0])})
         with pytest.raises(EmbeddingError):
             PredicateSpace({"a": np.array([1.0]), "b": np.array([1.0, 2.0])})
+        with pytest.raises(EmbeddingError):
+            PredicateSpace({"a": np.array([1.0, 0.0])}, max_cached_rows=0)
+
+
+class TestSimilarityRows:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return oracle_predicate_space(dbpedia_like_schema(), seed=3)
+
+    def test_row_matches_scalar_path_bitwise(self, space):
+        names = space.predicates()
+        for a in names[:6]:
+            row = space.similarity_row(a)
+            for b in names:
+                assert row[space.index_of(b)] == space.similarity(a, b)
+
+    def test_row_self_entry_is_exactly_one(self, space):
+        for name in space.predicates()[:6]:
+            assert space.similarity_row(name)[space.index_of(name)] == 1.0
+
+    def test_rows_are_read_only(self, space):
+        row = space.similarity_row(space.predicates()[0])
+        with pytest.raises(ValueError):
+            row[0] = 0.5
+
+    def test_similarity_matrix_stacks_rows(self, space):
+        names = space.predicates()[:4]
+        matrix = space.similarity_matrix(names)
+        assert matrix.shape == (4, len(space))
+        for i, name in enumerate(names):
+            assert (matrix[i] == space.similarity_row(name)).all()
+        assert space.similarity_matrix([]).shape == (0, len(space))
+
+    def test_symmetry_exact_across_rows(self, space):
+        names = space.predicates()
+        for a in names:
+            for b in names:
+                assert space.similarity(a, b) == space.similarity(b, a)
+
+    def test_unknown_predicate_row_raises(self, space):
+        with pytest.raises(UnknownPredicateError):
+            space.similarity_row("zzz")
+
+    def test_cache_is_bounded_with_stats(self):
+        space = PredicateSpace(
+            {f"p{i}": np.eye(8)[i % 8] + 0.1 * i for i in range(8)},
+            max_cached_rows=3,
+        )
+        for name in space.predicates():
+            space.similarity_row(name)
+        stats = space.stats()
+        assert stats.entries <= 3
+        assert stats.misses == 8
+        assert stats.evictions == 8 - 3
+        assert stats.hits == 0
+        space.similarity_row(space.predicates()[-1])  # still resident
+        assert space.stats().hits == 1
+        assert 0.0 < space.stats().hit_rate < 1.0
+        assert "hit_rate" in space.stats().describe()
+
+    def test_concurrent_row_churn_is_safe(self):
+        # The row LRU is shared by every serving worker thread; eviction
+        # racing a hit must never throw (the LRU is locked).
+        import threading
+
+        space = PredicateSpace(
+            {f"p{i}": np.eye(8)[i % 8] + 0.1 * i for i in range(8)},
+            max_cached_rows=2,
+        )
+        names = space.predicates()
+        errors = []
+
+        def churn(offset):
+            try:
+                for i in range(300):
+                    space.similarity_row(names[(i + offset) % len(names)])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert space.stats().entries <= 2
+
+    def test_pickle_roundtrip_recreates_lock(self):
+        # Multiprocess workers receive the space next to a pickled
+        # CompactGraph; the process-local lock must not block that.
+        import pickle
+
+        space = oracle_predicate_space(dbpedia_like_schema(), seed=3)
+        name = space.predicates()[0]
+        space.similarity_row(name)  # warm an entry through the lock
+        clone = pickle.loads(pickle.dumps(space))
+        assert clone.predicates() == space.predicates()
+        assert (clone.similarity_row(name) == space.similarity_row(name)).all()
+        clone.similarity_row(clone.predicates()[-1])  # lock works post-load
+
+    def test_eviction_never_changes_values(self):
+        space = PredicateSpace(
+            {f"p{i}": np.eye(8)[i % 8] + 0.1 * i for i in range(8)},
+            max_cached_rows=1,
+        )
+        first = {n: space.similarity("p0", n) for n in space.predicates()}
+        for name in space.predicates():  # churn the single-row cache
+            space.similarity_row(name)
+        again = {n: space.similarity("p0", n) for n in space.predicates()}
+        assert first == again
 
 
 class TestOracle:

@@ -48,11 +48,34 @@ class TestLruBounds:
         assert stats.weight_evictions == 0
         assert cache.get_weight("q", "a") == 0.15
 
+    def test_row_capacity_is_enforced(self):
+        cache = SemanticGraphCache(max_rows=2)
+        for i in range(5):
+            cache.put_row("weights", f"p{i}", [float(i)])
+        stats = cache.stats
+        assert stats.row_entries == 2
+        assert stats.row_evictions == 3
+        assert cache.get_row("weights", "p4") == [4.0]
+        assert cache.get_row("weights", "p0") is None
+
+    def test_row_kinds_are_distinct_keys(self):
+        cache = SemanticGraphCache()
+        cache.put_row("weights", "product", [0.9])
+        cache.put_row("bounds", "product", [0.8])
+        assert cache.get_row("weights", "product") == [0.9]
+        assert cache.get_row("bounds", "product") == [0.8]
+        stats = cache.stats
+        assert stats.row_entries == 2
+        assert stats.row_hits == 2
+        assert stats.hits == 2  # rows count in the aggregate
+
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ServeError):
             SemanticGraphCache(max_pairs=0)
         with pytest.raises(ServeError):
             SemanticGraphCache(max_adjacency=0)
+        with pytest.raises(ServeError):
+            SemanticGraphCache(max_rows=0)
 
 
 class TestStats:

@@ -116,6 +116,30 @@ class TestConsoleEntrypoint:
         assert "throughput" in out
         assert "hit_rate" in out
 
+    def test_main_compact_view(self, capsys):
+        code = workload_main(
+            [
+                "--preset",
+                "dbpedia",
+                "--scale",
+                "1.0",
+                "--seed",
+                "11",
+                "--repeats",
+                "2",
+                "--k",
+                "4",
+                "--workers",
+                "2",
+                "--view",
+                "compact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(compact view)" in out
+        assert "pass 2/2 (warm)" in out
+
     def test_report_describe_without_cache_stats(self):
         report = ReplayReport(
             completed=1,
