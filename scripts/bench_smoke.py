@@ -1,13 +1,17 @@
 #!/usr/bin/env python
-"""CI smoke gate for the compact CSR kernel.
+"""CI smoke gate for the compact CSR kernel and the TA assembly kernel.
 
-Runs the lazy-vs-compact comparison (``repro.bench.compactbench``) on a
-small synthetic bundle, writes ``benchmarks/results/BENCH_compact_kernel
-.json``, and exits non-zero **only** on a result-equivalence mismatch —
-the one property CI can judge on shared runners.  Timing numbers are
-recorded in the artifact but never gate the build (CI machines are too
-noisy for that; the full-scale bench in ``benchmarks/`` asserts the
-speedup on dedicated hardware).
+Runs two result-equivalence gates on small fixed workloads and exits
+non-zero **only** on a mismatch — the one property CI can judge on shared
+runners.  Timing numbers are recorded in the artifacts but never gate the
+build (CI machines are too noisy for that; the full-scale benches in
+``benchmarks/`` assert the speedups on dedicated hardware):
+
+1. lazy vs compact semantic-graph view (``repro.bench.compactbench``) →
+   ``benchmarks/results/BENCH_compact_kernel.json``;
+2. reference vs vectorized TA assembly (``repro.bench.assemblybench``:
+   fixed synthetic stream cases plus one end-to-end engine query) →
+   ``benchmarks/results/BENCH_ta_assembly.json``.
 
 Usage::
 
@@ -27,6 +31,11 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.bench.assemblybench import (  # noqa: E402
+    compare_assembly_kernels,
+    d12_comparison,
+    default_cases,
+)
 from repro.bench.compactbench import compare_kernels  # noqa: E402
 from repro.bench.datasets import load_bundle  # noqa: E402
 from repro.bench.reporting import emit_json  # noqa: E402
@@ -53,6 +62,9 @@ def main(argv=None) -> int:
         f"{args.preset} @ scale {args.scale}: {bundle.kg.num_entities} entities, "
         f"{bundle.kg.num_edges} edges, {len(bundle.workload)} queries"
     )
+    failed = False
+
+    # -- gate 1: lazy vs compact semantic-graph view ---------------------
     comparison = compare_kernels(
         bundle, k=args.k, passes=args.passes, scale=args.scale
     )
@@ -64,15 +76,41 @@ def main(argv=None) -> int:
         f"freeze {comparison.freeze_seconds * 1000:.1f} ms"
     )
     print(f"report: {path}")
-
-    if not comparison.equivalent:
+    if comparison.equivalent:
+        print(f"view equivalence OK on all {comparison.num_queries} queries")
+    else:
+        failed = True
         print("EQUIVALENCE MISMATCH between compact and lazy kernels:",
               file=sys.stderr)
         for problem in comparison.mismatches[:10]:
             print(f"  {problem}", file=sys.stderr)
-        return 1
-    print(f"equivalence OK on all {comparison.num_queries} queries")
-    return 0
+
+    # -- gate 2: reference vs vectorized TA assembly ---------------------
+    assembly = compare_assembly_kernels(default_cases("smoke"), passes=args.passes)
+    assembly.d12 = d12_comparison(bundle, k=args.k, passes=args.passes)
+    path = emit_json("BENCH_ta_assembly", assembly.to_json())
+    print(
+        f"assembly: reference {assembly.reference_seconds * 1000:.1f} ms, "
+        f"vectorized {assembly.vectorized_seconds * 1000:.1f} ms "
+        f"(speedup {assembly.speedup:.2f}x, informational); "
+        f"end-to-end {assembly.d12['qid']}: "
+        f"{assembly.d12['reference_ms']:.1f} -> "
+        f"{assembly.d12['vectorized_ms']:.1f} ms"
+    )
+    print(f"report: {path}")
+    if assembly.equivalent:  # folds in the end-to-end comparison
+        print(
+            f"assembly equivalence OK on all {assembly.num_cases} cases "
+            f"+ {assembly.d12['qid']}"
+        )
+    else:
+        failed = True
+        print("EQUIVALENCE MISMATCH between vectorized and reference "
+              "assembly kernels:", file=sys.stderr)
+        for problem in assembly.mismatches[:10]:
+            print(f"  {problem}", file=sys.stderr)
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

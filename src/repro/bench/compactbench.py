@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.bench.datasets import DatasetBundle
+from repro.bench.equivalence import final_matches_differ
 from repro.core.compact_view import CompactViewFactory
 from repro.core.engine import SemanticGraphQueryEngine
 from repro.core.results import QueryResult
@@ -78,26 +79,11 @@ def _matches_differ(qid: str, lazy: QueryResult, compact: QueryResult) -> Option
     """A description of the first result difference, or ``None`` if equal.
 
     Byte-identical means: same match count and order, same pivot uids,
-    bit-equal scores and pss, and equal path steps per sub-match.
+    bit-equal scores and pss, equal component insertion order, and equal
+    path steps per sub-match (the shared
+    :func:`repro.bench.equivalence.final_matches_differ` definition).
     """
-    if len(lazy.matches) != len(compact.matches):
-        return (
-            f"{qid}: match count {len(lazy.matches)} != {len(compact.matches)}"
-        )
-    for rank, (a, b) in enumerate(zip(lazy.matches, compact.matches)):
-        if a.pivot_uid != b.pivot_uid:
-            return f"{qid}#{rank}: pivot {a.pivot_uid} != {b.pivot_uid}"
-        if a.score != b.score:
-            return f"{qid}#{rank}: score {a.score!r} != {b.score!r}"
-        if sorted(a.components) != sorted(b.components):
-            return f"{qid}#{rank}: component sub-queries differ"
-        for index, pa in a.components.items():
-            pb = b.components[index]
-            if pa.pss != pb.pss:
-                return f"{qid}#{rank}/g{index}: pss {pa.pss!r} != {pb.pss!r}"
-            if pa.path != pb.path:
-                return f"{qid}#{rank}/g{index}: path differs"
-    return None
+    return final_matches_differ(qid, lazy.matches, compact.matches)
 
 
 def _sweep_seconds(engine: SemanticGraphQueryEngine, queries, k: int) -> float:

@@ -1,0 +1,44 @@
+"""Shared result-identity predicate for the kernel equivalence gates.
+
+Every kernel this reproduction adds (the compact CSR semantic-graph view,
+the vectorized TA assembly kernel) claims *identical results* to its
+reference implementation — same final matches, bit-equal scores, same
+components.  This module owns the one definition of that claim, so the
+CI gates (`repro.bench.compactbench`, `repro.bench.assemblybench`,
+`scripts/bench_smoke.py`) cannot drift in what they actually check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.results import FinalMatch
+
+
+def final_matches_differ(
+    label: str,
+    expected: Sequence[FinalMatch],
+    actual: Sequence[FinalMatch],
+) -> Optional[str]:
+    """A description of the first difference, or ``None`` if identical.
+
+    Identical means: same match count and order, same pivot uids,
+    bit-equal scores, same component sub-queries in the same insertion
+    order, and bit-equal pss plus equal path per component.
+    """
+    if len(expected) != len(actual):
+        return f"{label}: match count {len(expected)} != {len(actual)}"
+    for rank, (a, b) in enumerate(zip(expected, actual)):
+        if a.pivot_uid != b.pivot_uid:
+            return f"{label}#{rank}: pivot {a.pivot_uid} != {b.pivot_uid}"
+        if a.score != b.score:
+            return f"{label}#{rank}: score {a.score!r} != {b.score!r}"
+        if list(a.components) != list(b.components):
+            return f"{label}#{rank}: component order differs"
+        for index, pa in a.components.items():
+            pb = b.components[index]
+            if pa.pss != pb.pss:
+                return f"{label}#{rank}/g{index}: pss {pa.pss!r} != {pb.pss!r}"
+            if pa.path != pb.path:
+                return f"{label}#{rank}/g{index}: path differs"
+    return None

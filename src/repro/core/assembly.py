@@ -11,6 +11,21 @@ candidate that has not been seen in any stream yet.
 The stream abstraction also serves TBQ: a drained-and-sorted non-optimal
 match set M̂_i replays through the same assembler (Section VI's
 "approximate final matches M̂ assembly").
+
+Two interchangeable kernels implement the round loop:
+
+- ``kernel="reference"`` — the pure-Python assembler below, a direct
+  transcription of Eq. 8-11 / Theorem 3.  It re-sorts every candidate and
+  recomputes every upper bound each round (O(C·S + C log C) per round),
+  which makes it the easy-to-audit conformance baseline but a hot spot on
+  assembly-heavy queries.
+- ``kernel="vectorized"`` (the default) — the incremental numpy kernel in
+  :mod:`repro.core.assembly_kernel`: interned candidate table, bounded
+  heap over the top-k lower bounds, one matvec per Theorem 3 evaluation
+  and monotone fast paths that skip the evaluation entirely.  It makes
+  the *same decision at the same round* as the reference on the same
+  streams, so results (matches, scores, accesses, rounds) are identical;
+  only the cost changes.
 """
 
 from __future__ import annotations
@@ -20,6 +35,10 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.results import FinalMatch, PathMatch
 from repro.errors import SearchError
+
+#: Valid ``kernel=`` names, owned here (the dispatch point); the engine
+#: and the workload CLI import this rather than re-hardcoding the set.
+ASSEMBLY_KERNELS = ("vectorized", "reference")
 
 
 class MatchStream:
@@ -47,16 +66,19 @@ class MatchStream:
         if self.exhausted:
             return None
         match = self._pull()
-        self.accesses += 1
         if match is None:
+            # The exhaustion probe is not a sorted access: nothing was
+            # read from the stream, the pull merely revealed its end —
+            # counting it would inflate the paper's access reporting.
             self.exhausted = True
-        else:
-            if self.last_pss is not None and match.pss > self.last_pss + 1e-9:
-                raise SearchError(
-                    "match stream is not sorted by descending pss "
-                    f"({match.pss} after {self.last_pss})"
-                )
-            self.last_pss = match.pss
+            return None
+        self.accesses += 1
+        if self.last_pss is not None and match.pss > self.last_pss + 1e-9:
+            raise SearchError(
+                "match stream is not sorted by descending pss "
+                f"({match.pss} after {self.last_pss})"
+            )
+        self.last_pss = match.pss
         return match
 
     @property
@@ -76,11 +98,21 @@ class MatchStream:
 
 @dataclass
 class AssemblyResult:
-    """Top-k final matches plus TA bookkeeping."""
+    """Top-k final matches plus TA bookkeeping.
+
+    ``rounds`` counts every TA round, including the final probe round in
+    which all streams report exhaustion.  ``truncated`` is True when a
+    ``max_rounds`` cap stopped the TA while streams still had matches —
+    distinguishable from both a clean drain (``terminated_early=False,
+    truncated=False``) and Theorem 3 termination (``terminated_early=
+    True``).
+    """
 
     matches: List[FinalMatch]
     accesses: int
     terminated_early: bool
+    rounds: int = 0
+    truncated: bool = False
 
 
 def assemble_top_k(
@@ -89,6 +121,7 @@ def assemble_top_k(
     *,
     exhaustive: bool = False,
     max_rounds: Optional[int] = None,
+    kernel: str = "vectorized",
 ) -> AssemblyResult:
     """Run the TA until the top-k final matches are certain.
 
@@ -99,6 +132,10 @@ def assemble_top_k(
             every stream and then ranks — Theorem 3 says the result set is
             identical).
         max_rounds: optional safety cap on TA rounds.
+        kernel: ``"vectorized"`` (default) runs the incremental numpy
+            kernel (:mod:`repro.core.assembly_kernel`); ``"reference"``
+            runs the pure-Python transcription below.  Both return
+            identical results.
 
     Returns ``k`` (or fewer, if the data runs out) final matches sorted by
     descending score; each match records which sub-queries contributed.
@@ -110,6 +147,30 @@ def assemble_top_k(
     not yet surfaced.  Pass ``exhaustive=True`` to always resolve exact
     scores at the cost of draining every stream.
     """
+    if kernel == "vectorized":
+        from repro.core.assembly_kernel import assemble_top_k_vectorized
+
+        return assemble_top_k_vectorized(
+            streams, k, exhaustive=exhaustive, max_rounds=max_rounds
+        )
+    if kernel != "reference":
+        raise SearchError(
+            f"unknown assembly kernel {kernel!r} "
+            f"(expected one of {ASSEMBLY_KERNELS})"
+        )
+    return _assemble_reference(
+        streams, k, exhaustive=exhaustive, max_rounds=max_rounds
+    )
+
+
+def _assemble_reference(
+    streams: Sequence[MatchStream],
+    k: int,
+    *,
+    exhaustive: bool = False,
+    max_rounds: Optional[int] = None,
+) -> AssemblyResult:
+    """The pure-Python TA (Eq. 8-11 / Theorem 3, conformance baseline)."""
     if k < 1:
         raise SearchError("k must be at least 1")
     if not streams:
@@ -119,15 +180,14 @@ def assemble_top_k(
     candidates: Dict[int, FinalMatch] = {}
     rounds = 0
     terminated_early = False
+    truncated = False
 
     def upper_bound(candidate: FinalMatch) -> float:
-        """Eq. 10-11: seen components exactly, unseen at ψ_cur."""
-        total = 0.0
+        """Eq. 10-11: seen components exactly (the candidate's running
+        lower bound), unseen streams at their ψ_cur."""
+        total = candidate.score
         for index in range(num_streams):
-            component = candidate.components.get(index)
-            if component is not None:
-                total += component.pss
-            else:
+            if index not in candidate.components:
                 total += streams[index].current_pss
         return total
 
@@ -169,10 +229,15 @@ def assemble_top_k(
             terminated_early = True
             break
         if max_rounds is not None and rounds >= max_rounds:
+            truncated = True
             break
 
     ranked = sorted(candidates.values(), key=lambda c: (-c.score, c.pivot_uid))
     total_accesses = sum(stream.accesses for stream in streams)
     return AssemblyResult(
-        matches=ranked[:k], accesses=total_accesses, terminated_early=terminated_early
+        matches=ranked[:k],
+        accesses=total_accesses,
+        terminated_early=terminated_early,
+        rounds=rounds,
+        truncated=truncated,
     )

@@ -17,9 +17,10 @@ without guessing how many matches each sub-query must contribute.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import Callable, List, Optional
 
-from repro.core.assembly import MatchStream, assemble_top_k
+from repro.core.assembly import ASSEMBLY_KERNELS, MatchStream, assemble_top_k
 from repro.core.astar import SubQuerySearch
 from repro.core.compact_view import CompactViewFactory, ViewFactory, lazy_view_factory
 from repro.core.config import SearchConfig
@@ -34,6 +35,30 @@ from repro.query.decompose import Decomposition, decompose_query
 from repro.query.model import QueryGraph
 from repro.query.transform import NodeMatcher, TransformationLibrary
 from repro.utils.timing import Clock, Stopwatch, WallClock
+
+
+class _PullTimer:
+    """Accumulates wall time spent inside sorted-access pulls.
+
+    For SGQ the TA's sorted access *is* the A* search, so the engine
+    subtracts pull time from the assembly wall time to report an honest
+    search-vs-assembly split (``QueryResult.assembly_seconds``).
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def wrap(self, pull: Callable) -> Callable:
+        def timed():
+            started = time.perf_counter()
+            try:
+                return pull()
+            finally:
+                self.seconds += time.perf_counter() - started
+
+        return timed
 
 
 class SemanticGraphQueryEngine:
@@ -60,6 +85,11 @@ class SemanticGraphQueryEngine:
             vectorises weight materialisation and ``m(u)`` bounds.
             Results are identical to the lazy view; only cost changes.
             Mutually exclusive with ``view_factory``.
+        assembly_kernel: TA assembly implementation — ``"vectorized"``
+            (default; the incremental numpy kernel,
+            :mod:`repro.core.assembly_kernel`) or ``"reference"`` (the
+            pure-Python Eq. 8-11 transcription).  Results are identical;
+            only assembly cost changes.
     """
 
     def __init__(
@@ -72,9 +102,16 @@ class SemanticGraphQueryEngine:
         weight_cache: Optional[WeightCache] = None,
         view_factory: Optional[ViewFactory] = None,
         compact: bool = False,
+        assembly_kernel: str = "vectorized",
     ):
         if compact and view_factory is not None:
             raise SearchError("pass either compact=True or view_factory, not both")
+        if assembly_kernel not in ASSEMBLY_KERNELS:
+            raise SearchError(
+                f"unknown assembly kernel {assembly_kernel!r} "
+                f"(expected one of {ASSEMBLY_KERNELS})"
+            )
+        self.assembly_kernel = assembly_kernel
         self.kg = kg
         self.space = space
         self.config = config if config is not None else SearchConfig()
@@ -165,8 +202,17 @@ class SemanticGraphQueryEngine:
             decomposition = self.decompose(query, pivot=pivot, strategy=strategy)
         view = self._make_view()
         searches = self._build_searches(decomposition, view)
-        streams = [MatchStream(search.next_match) for search in searches]
-        assembly = assemble_top_k(streams, k, exhaustive=exhaustive_assembly)
+        pull_timer = _PullTimer()
+        streams = [
+            MatchStream(pull_timer.wrap(search.next_match)) for search in searches
+        ]
+        assembly_started = time.perf_counter()
+        assembly = assemble_top_k(
+            streams, k, exhaustive=exhaustive_assembly, kernel=self.assembly_kernel
+        )
+        assembly_seconds = max(
+            time.perf_counter() - assembly_started - pull_timer.seconds, 0.0
+        )
         for search in searches:
             # getattr: the stats attributes are view extras, not part of
             # the WeightedGraphView protocol a custom view_factory must
@@ -179,6 +225,9 @@ class SemanticGraphQueryEngine:
             approximate=False,
             subquery_stats=[search.stats for search in searches],
             ta_accesses=assembly.accesses,
+            ta_rounds=assembly.rounds,
+            ta_truncated=assembly.truncated,
+            assembly_seconds=assembly_seconds,
         )
 
     # ------------------------------------------------------------------
@@ -216,8 +265,12 @@ class SemanticGraphQueryEngine:
             check_interval=check_interval,
         )
         outcome = coordinator.run()
+        # The M̂ replay (sort + TA) is wholly assembly work: the searches
+        # already ran under the coordinator, so no pull-time subtraction.
+        assembly_started = time.perf_counter()
         streams = [MatchStream.from_list(harvest) for harvest in outcome.harvests]
-        assembly = assemble_top_k(streams, k)
+        assembly = assemble_top_k(streams, k, kernel=self.assembly_kernel)
+        assembly_seconds = time.perf_counter() - assembly_started
         for search in searches:
             # getattr: the stats attributes are view extras, not part of
             # the WeightedGraphView protocol a custom view_factory must
@@ -230,5 +283,8 @@ class SemanticGraphQueryEngine:
             approximate=True,
             subquery_stats=[search.stats for search in searches],
             ta_accesses=assembly.accesses,
+            ta_rounds=assembly.rounds,
+            ta_truncated=assembly.truncated,
+            assembly_seconds=assembly_seconds,
             time_bound=time_bound,
         )

@@ -34,7 +34,11 @@ class FinalMatch:
     ``components`` maps sub-query index → its :class:`PathMatch` (missing
     indexes were never matched before TA terminated); ``score`` is the
     match score ``S_m`` — the sum of component pss values, i.e. the lower
-    bound at termination, exact once every sub-query contributed.
+    bound at termination, exact once every sub-query contributed.  The
+    score is maintained incrementally by :meth:`add_component` (add the
+    new pss, subtract a replaced one) rather than re-summed on every add;
+    for pure additions the running value is bit-identical to summing the
+    components in insertion order.
     """
 
     pivot_uid: int
@@ -54,9 +58,12 @@ class FinalMatch:
 
     def add_component(self, match: PathMatch) -> None:
         existing = self.components.get(match.subquery_index)
-        if existing is None or match.pss > existing.pss:
+        if existing is None:
             self.components[match.subquery_index] = match
-            self.score = sum(m.pss for m in self.components.values())
+            self.score += match.pss
+        elif match.pss > existing.pss:
+            self.components[match.subquery_index] = match
+            self.score += match.pss - existing.pss
 
     def describe(self, kg: KnowledgeGraph) -> str:
         entity = kg.entity(self.pivot_uid)
@@ -104,6 +111,14 @@ class QueryResult:
     ``matches`` are the top-k final matches, best first.  ``approximate``
     is True for TBQ runs (the match set may differ from the global
     optimum); ``elapsed_seconds`` is the measured system response time.
+
+    TA bookkeeping: ``ta_accesses`` counts sorted accesses, ``ta_rounds``
+    the assembly rounds, and ``ta_truncated`` is True when a
+    ``max_rounds`` cap cut the TA short (distinct from a clean drain or
+    Theorem 3 early termination).  ``assembly_seconds`` is the time spent
+    inside the TA itself — sorted-access pull time (which for SGQ *is*
+    the A* search) is excluded, so ``search_seconds`` +
+    ``assembly_seconds`` ≈ ``elapsed_seconds``.
     """
 
     matches: List[FinalMatch]
@@ -111,7 +126,15 @@ class QueryResult:
     approximate: bool = False
     subquery_stats: List[SearchStats] = field(default_factory=list)
     ta_accesses: int = 0
+    ta_rounds: int = 0
+    ta_truncated: bool = False
+    assembly_seconds: float = 0.0
     time_bound: Optional[float] = None
+
+    @property
+    def search_seconds(self) -> float:
+        """Time outside the TA (decomposition + view + A* search)."""
+        return max(self.elapsed_seconds - self.assembly_seconds, 0.0)
 
     def answer_uids(self) -> List[int]:
         """The answer entities (pivot matches), best first."""

@@ -116,12 +116,17 @@ class TimeBoundedCoordinator:
         )
 
 
-def calibrate_assembly_seconds_per_match(sample_matches: int = 2000) -> float:
+def calibrate_assembly_seconds_per_match(
+    sample_matches: int = 2000, kernel: str = "vectorized"
+) -> float:
     """Measure the empirical per-match TA cost ``t`` of Algorithm 3.
 
     Runs a simulated assembly over synthetic single-stream matches (the
     paper: "we get this empirical time via the simulated TA based
-    assembly") and returns seconds per match.
+    assembly") and returns seconds per match.  ``kernel`` selects the
+    assembly implementation to calibrate; the default matches the
+    engine's default (the vectorized kernel), so TBQ's time-budget
+    estimate reflects the assembler that will actually run.
     """
     from repro.core.assembly import MatchStream, assemble_top_k
     from repro.kg.paths import Path
@@ -138,5 +143,10 @@ def calibrate_assembly_seconds_per_match(sample_matches: int = 2000) -> float:
         for i in range(sample_matches)
     ]
     watch = Stopwatch()
-    assemble_top_k([MatchStream.from_list(matches)], k=sample_matches, exhaustive=True)
+    assemble_top_k(
+        [MatchStream.from_list(matches)],
+        k=sample_matches,
+        exhaustive=True,
+        kernel=kernel,
+    )
     return max(watch.elapsed() / sample_matches, 1e-9)

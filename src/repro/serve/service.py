@@ -181,16 +181,24 @@ class QueryService:
         *,
         compact: bool = False,
         view_factory=None,
+        assembly_kernel: str = "vectorized",
         **kwargs,
     ) -> "QueryService":
         """Build an engine and wrap it in one call.
 
         ``compact=True`` serves every query off the frozen CSR kernel
         (:mod:`repro.core.compact_view`); ``view_factory`` passes a custom
-        view seam through.  Results are identical either way.
+        view seam through; ``assembly_kernel`` picks the TA assembly
+        implementation.  Results are identical under every combination.
         """
         engine = SemanticGraphQueryEngine(
-            kg, space, library, config, compact=compact, view_factory=view_factory
+            kg,
+            space,
+            library,
+            config,
+            compact=compact,
+            view_factory=view_factory,
+            assembly_kernel=assembly_kernel,
         )
         return cls(engine, **kwargs)
 

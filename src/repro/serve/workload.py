@@ -11,7 +11,12 @@ the way a load generator would hit a deployed system:
   completion and summarised as nearest-rank percentiles
   (:func:`repro.utils.stats.percentile`);
 - the report carries a :class:`~repro.serve.cache.CacheStats` snapshot so
-  cold/warm comparisons can attribute speedups to the shared weight cache.
+  cold/warm comparisons can attribute speedups to the shared weight cache;
+- ``breakdown=True`` (CLI: ``--breakdown``) additionally collects each
+  query's **search-vs-assembly time split** from the engine's
+  ``QueryResult`` instrumentation, so assembly-bound queries (the D12
+  class) can be told apart from search-bound ones; TA round-cap
+  truncations are counted on every run.
 
 The module doubles as the ``repro-serve-workload`` console entrypoint
 (see ``setup.py``): build a preset dataset bundle, replay its workload for
@@ -28,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
+from repro.core.assembly import ASSEMBLY_KERNELS
 from repro.errors import ServeError
 from repro.query.model import QueryGraph
 from repro.serve.cache import CacheStats
@@ -51,6 +57,24 @@ class WorkloadItem:
         )
 
 
+@dataclass(frozen=True)
+class QueryBreakdown:
+    """One query's search-vs-assembly time split (from ``QueryResult``)."""
+
+    qid: str
+    elapsed_seconds: float
+    search_seconds: float
+    assembly_seconds: float
+    ta_rounds: int
+    truncated: bool
+
+    @property
+    def assembly_share(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.assembly_seconds / self.elapsed_seconds
+
+
 @dataclass
 class ReplayReport:
     """Throughput and latency summary of one replay pass."""
@@ -61,6 +85,8 @@ class ReplayReport:
     latencies: List[float]
     rate: Optional[float]
     cache_stats: Optional[CacheStats] = None
+    truncated: int = 0
+    breakdown: Optional[List[QueryBreakdown]] = None
 
     @property
     def throughput_qps(self) -> float:
@@ -100,6 +126,29 @@ class ReplayReport:
             )
         if self.cache_stats is not None:
             lines.append(f"weight cache: {self.cache_stats.describe()}")
+        if self.truncated:
+            lines.append(
+                f"ta: {self.truncated} queries hit the assembly round cap"
+            )
+        if self.breakdown:
+            total = sum(b.elapsed_seconds for b in self.breakdown)
+            assembly = sum(b.assembly_seconds for b in self.breakdown)
+            share = assembly / total if total > 0 else 0.0
+            lines.append(
+                f"assembly share: {share * 100.0:.1f}% of "
+                f"{total * 1000:.1f} ms total query time"
+            )
+            lines.append("search vs assembly per query (slowest assembly first):")
+            ordered = sorted(self.breakdown, key=lambda b: -b.assembly_seconds)
+            for row in ordered:
+                flag = " TRUNCATED" if row.truncated else ""
+                lines.append(
+                    f"  {row.qid or '?'}: total {row.elapsed_seconds * 1000:.1f} ms"
+                    f" = search {row.search_seconds * 1000:.1f}"
+                    f" + assembly {row.assembly_seconds * 1000:.1f}"
+                    f" ({row.assembly_share * 100.0:.1f}% assembly,"
+                    f" {row.ta_rounds} rounds){flag}"
+                )
         return "\n".join(lines)
 
 
@@ -109,6 +158,7 @@ def replay(
     *,
     rate: Optional[float] = None,
     k: int = 10,
+    breakdown: bool = False,
 ) -> ReplayReport:
     """Replay ``items`` through ``service`` and measure the experience.
 
@@ -117,6 +167,8 @@ def replay(
         items: workload items (bare :class:`QueryGraph` entries get ``k``).
         rate: open-loop arrival rate in queries/second; ``None`` submits
             everything immediately.
+        breakdown: collect each query's search-vs-assembly split into
+            :attr:`ReplayReport.breakdown`.
     """
     if rate is not None and rate <= 0:
         raise ServeError(f"arrival rate must be positive, got {rate}")
@@ -131,11 +183,13 @@ def replay(
 
     latencies: List[float] = []
     failures = [0]
+    truncated = [0]
+    splits: List[QueryBreakdown] = []
     lock = threading.Lock()
     done = threading.Semaphore(0)
     watch = Stopwatch()
 
-    def _submit(request: QueryRequest, scheduled: float) -> None:
+    def _submit(request: QueryRequest, scheduled: float, index: int) -> None:
         future = service.submit_request(request)
 
         def _finish(f) -> None:
@@ -143,6 +197,20 @@ def replay(
             with lock:
                 if f.exception() is None:
                     latencies.append(latency)
+                    result = f.result()
+                    if result.ta_truncated:
+                        truncated[0] += 1
+                    if breakdown:
+                        splits.append(
+                            QueryBreakdown(
+                                qid=request.tag or f"q{index}",
+                                elapsed_seconds=result.elapsed_seconds,
+                                search_seconds=result.search_seconds,
+                                assembly_seconds=result.assembly_seconds,
+                                ta_rounds=result.ta_rounds,
+                                truncated=result.ta_truncated,
+                            )
+                        )
                 else:
                     failures[0] += 1
             done.release()
@@ -153,7 +221,7 @@ def replay(
         if rate is None:
             # Unpaced: no schedule exists, so latency starts at the
             # actual submission instant.
-            _submit(request, watch.elapsed())
+            _submit(request, watch.elapsed(), index)
             continue
         scheduled = index / rate
         delay = scheduled - watch.elapsed()
@@ -163,7 +231,7 @@ def replay(
         # generator falls behind — hiding generator lag would be the
         # classic coordinated-omission distortion open-loop replay exists
         # to avoid.
-        _submit(request, scheduled)
+        _submit(request, scheduled, index)
 
     for _ in requests:
         done.acquire()
@@ -176,6 +244,8 @@ def replay(
         latencies=sorted(latencies),
         rate=rate,
         cache_stats=service.cache.stats,
+        truncated=truncated[0],
+        breakdown=splits if breakdown else None,
     )
 
 
@@ -229,6 +299,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "vectorized weights (identical results, different cost)"
         ),
     )
+    parser.add_argument(
+        "--assembly-kernel",
+        default="vectorized",
+        choices=ASSEMBLY_KERNELS,
+        help=(
+            "TA assembly implementation: the incremental numpy kernel "
+            "(default) or the pure-Python reference assembler "
+            "(identical results, different cost)"
+        ),
+    )
+    parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help=(
+            "report each query's search-vs-assembly time split per pass "
+            "(engine instrumentation; identifies assembly-bound queries)"
+        ),
+    )
     return parser
 
 
@@ -267,10 +355,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         bundle.library,
         max_workers=args.workers,
         compact=(args.view == "compact"),
+        assembly_kernel=args.assembly_kernel,
     ) as service:
         for run in range(1, args.repeats + 1):
             service.cache.reset_stats()
-            report = replay(service, items, rate=args.rate)
+            report = replay(service, items, rate=args.rate, breakdown=args.breakdown)
             label = "cold" if run == 1 else "warm"
             print(f"\n--- pass {run}/{args.repeats} ({label}) ---")
             print(report.describe())

@@ -1,0 +1,342 @@
+"""Cross-kernel conformance: vectorized TA assembly vs the reference.
+
+The vectorized kernel (`repro.core.assembly_kernel`) must make the same
+Theorem 3 decision at the same round as the pure-Python reference on the
+same streams — so matches, bit-equal scores, component order, sorted
+access counts, round counts and termination flags must all be identical.
+
+The fuzz suites draw pss values from a 1/64 grid, so every bound either
+kernel computes (sums of at most a few dozen such values) is exact in
+float64: summation-order differences between the matvec and the Python
+loops cannot perturb a comparison, which lets the suite assert *exact*
+equality instead of tolerances.
+"""
+
+import random
+
+import pytest
+
+from repro.core.assembly import MatchStream, assemble_top_k
+from repro.core.engine import SemanticGraphQueryEngine
+from repro.core.results import FinalMatch, PathMatch
+from repro.errors import SearchError
+from repro.kg.paths import Path
+from repro.utils.timing import BudgetClock
+
+GRID = 64
+
+
+def grid_match(stream, pivot, value):
+    """A match whose pss is value/GRID (exactly representable)."""
+    return PathMatch(
+        subquery_index=stream,
+        path=Path.single_node(pivot),
+        pivot_uid=pivot,
+        pss=value / GRID,
+    )
+
+
+def random_stream_specs(rng):
+    """Random stream shapes: empty streams, duplicate pivots, many ties."""
+    num_streams = rng.randint(1, 6)
+    specs = []
+    for stream in range(num_streams):
+        length = 0 if rng.random() < 0.15 else rng.randint(1, 30)
+        pivot_pool = rng.randint(1, 12)  # small pool → duplicates + overlap
+        specs.append(
+            [
+                grid_match(stream, rng.randrange(pivot_pool), rng.randint(1, GRID))
+                for _ in range(length)
+            ]
+        )
+    return specs
+
+
+def run_kernel(specs, k, kernel, **kwargs):
+    streams = [MatchStream.from_list(matches) for matches in specs]
+    return streams, assemble_top_k(streams, k, kernel=kernel, **kwargs)
+
+
+def assert_identical(specs, k, **kwargs):
+    ref_streams, reference = run_kernel(specs, k, "reference", **kwargs)
+    vec_streams, vectorized = run_kernel(specs, k, "vectorized", **kwargs)
+    assert reference.accesses == vectorized.accesses
+    assert reference.rounds == vectorized.rounds
+    assert reference.terminated_early == vectorized.terminated_early
+    assert reference.truncated == vectorized.truncated
+    assert [s.accesses for s in ref_streams] == [s.accesses for s in vec_streams]
+    assert len(reference.matches) == len(vectorized.matches)
+    for a, b in zip(reference.matches, vectorized.matches):
+        assert a.pivot_uid == b.pivot_uid
+        assert a.score == b.score  # bit-identical, no tolerance
+        assert a.expected_components == b.expected_components
+        assert list(a.components) == list(b.components)  # same insertion order
+        for index, pa in a.components.items():
+            pb = b.components[index]
+            assert pa.pss == pb.pss
+            assert pa.path == pb.path
+    return reference, vectorized
+
+
+class TestFuzzConformance:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_early_termination(self, seed):
+        rng = random.Random(seed)
+        assert_identical(random_stream_specs(rng), rng.randint(1, 8))
+
+    @pytest.mark.parametrize("seed", range(201, 221))
+    def test_exhaustive(self, seed):
+        rng = random.Random(seed)
+        assert_identical(
+            random_stream_specs(rng), rng.randint(1, 8), exhaustive=True
+        )
+
+    @pytest.mark.parametrize("seed", range(401, 421))
+    def test_max_rounds(self, seed):
+        rng = random.Random(seed)
+        assert_identical(
+            random_stream_specs(rng),
+            rng.randint(1, 8),
+            max_rounds=rng.randint(1, 10),
+        )
+
+    @pytest.mark.parametrize("seed", range(601, 611))
+    def test_k_exceeds_candidates(self, seed):
+        rng = random.Random(seed)
+        assert_identical(random_stream_specs(rng), rng.randint(20, 40))
+
+
+class TestToleranceWiggleConformance:
+    """Streams that rise by ≤1e-9 between pulls (the sortedness
+    tolerance) exercise every monotone-premise invalidation in the
+    kernel: ψ rises and upward component replacements, both of which
+    must drop the cached U_cap.  Values are multiples of 2^-32, so sums
+    stay exact and the identity assertions are sharp."""
+
+    WIGGLE = 2.0 ** -32  # ≈2.3e-10; even 3 steps stay under the 1e-9 gate
+
+    def wiggled_specs(self, rng):
+        num_streams = rng.randint(2, 4)
+        specs = []
+        for stream in range(num_streams):
+            value = rng.randint(8, GRID) / GRID
+            pool = rng.randint(2, 6)  # tiny pool → replacements happen
+            matches = []
+            for _ in range(rng.randint(5, 25)):
+                roll = rng.random()
+                if roll < 0.3:
+                    value += rng.randint(1, 3) * self.WIGGLE  # tolerated rise
+                elif roll < 0.7:
+                    value -= rng.randint(1, 4) / GRID  # real descent
+                    if value <= 0.0:
+                        break
+                matches.append(grid_match(stream, rng.randrange(pool), 0))
+                matches[-1] = PathMatch(
+                    subquery_index=stream,
+                    path=matches[-1].path,
+                    pivot_uid=matches[-1].pivot_uid,
+                    pss=value,
+                )
+            specs.append(matches)
+        return specs
+
+    @staticmethod
+    def run_ordered(specs, k, kernel):
+        """Streams in the given order (no from_list re-sort)."""
+        streams = []
+        for matches in specs:
+            pulls = iter(matches)
+            streams.append(MatchStream(lambda p=pulls: next(p, None)))
+        return streams, assemble_top_k(streams, k, kernel=kernel)
+
+    @pytest.mark.parametrize("seed", range(801, 841))
+    def test_wiggled_streams_identical(self, seed):
+        rng = random.Random(seed)
+        specs = self.wiggled_specs(rng)
+        k = rng.randint(1, 6)
+        ref_streams, reference = self.run_ordered(specs, k, "reference")
+        vec_streams, vectorized = self.run_ordered(specs, k, "vectorized")
+        assert reference.accesses == vectorized.accesses
+        assert reference.rounds == vectorized.rounds
+        assert reference.terminated_early == vectorized.terminated_early
+        assert [(m.pivot_uid, m.score) for m in reference.matches] == [
+            (m.pivot_uid, m.score) for m in vectorized.matches
+        ]
+
+
+class TestEdgeCases:
+    def test_all_streams_empty(self):
+        reference, vectorized = assert_identical([[], [], []], k=3)
+        assert vectorized.matches == []
+        assert vectorized.rounds == 1  # the single probe round
+        assert vectorized.accesses == 0
+        assert not vectorized.terminated_early and not vectorized.truncated
+
+    def test_one_empty_one_live_stream(self):
+        specs = [[], [grid_match(1, pivot, GRID - pivot) for pivot in range(5)]]
+        assert_identical(specs, k=2)
+
+    def test_everything_ties(self):
+        """All pss equal: boundary-tie selection must match the stable sort."""
+        specs = [
+            [grid_match(0, pivot, 32) for pivot in (4, 2, 7, 1, 9)],
+            [grid_match(1, pivot, 32) for pivot in (7, 4, 3, 9, 2)],
+        ]
+        for k in (1, 2, 3, 5, 8):
+            assert_identical(specs, k)
+
+    def test_duplicate_pivot_within_stream(self):
+        specs = [[grid_match(0, 1, 60), grid_match(0, 1, 40), grid_match(0, 2, 50)]]
+        reference, vectorized = assert_identical(specs, k=2, exhaustive=True)
+        assert vectorized.matches[0].score == pytest.approx(60 / GRID)
+
+    def test_replacement_via_sortedness_tolerance(self):
+        """A pull larger by ≤1e-9 passes the sortedness check and must
+        replace the stored component in both kernels."""
+
+        def specs():
+            first = grid_match(0, 1, 32)
+            bumped = PathMatch(
+                subquery_index=0,
+                path=Path.single_node(1),
+                pivot_uid=1,
+                pss=first.pss + 5e-10,
+            )
+            pulls = iter([first, bumped, grid_match(0, 2, 16)])
+            return pulls
+
+        results = []
+        for kernel in ("reference", "vectorized"):
+            pulls = specs()
+            stream = MatchStream(lambda: next(pulls, None))
+            results.append(assemble_top_k([stream], 2, kernel=kernel))
+        reference, vectorized = results
+        assert reference.accesses == vectorized.accesses
+        assert reference.rounds == vectorized.rounds
+        assert [m.score for m in reference.matches] == [
+            m.score for m in vectorized.matches
+        ]
+        assert reference.matches[0].score == 32 / GRID + 5e-10
+
+    def test_validation_matches_reference(self):
+        for kernel in ("reference", "vectorized"):
+            with pytest.raises(SearchError):
+                assemble_top_k([], 1, kernel=kernel)
+            with pytest.raises(SearchError):
+                assemble_top_k(
+                    [MatchStream.from_list([grid_match(0, 1, 10)])],
+                    0,
+                    kernel=kernel,
+                )
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SearchError):
+            assemble_top_k(
+                [MatchStream.from_list([grid_match(0, 1, 10)])], 1, kernel="numba"
+            )
+
+
+class TestFinalMatchIncrementalScore:
+    """Satellite: the incrementally maintained score equals the recomputed
+    sum (values chosen exactly representable, so equality is exact)."""
+
+    def test_additions_match_recomputed_sum(self):
+        final = FinalMatch(pivot_uid=1, expected_components=3)
+        for stream, value in enumerate((48, 17, 33)):
+            final.add_component(grid_match(stream, 1, value))
+        assert final.score == sum(m.pss for m in final.components.values())
+        assert final.score == (48 + 17 + 33) / GRID
+
+    def test_replacement_matches_recomputed_sum(self):
+        final = FinalMatch(pivot_uid=1, expected_components=2)
+        final.add_component(grid_match(0, 1, 16))
+        final.add_component(grid_match(1, 1, 8))
+        final.add_component(grid_match(0, 1, 32))  # replaces stream 0
+        assert final.components[0].pss == 32 / GRID
+        assert final.score == sum(m.pss for m in final.components.values())
+
+    def test_worse_duplicate_ignored(self):
+        final = FinalMatch(pivot_uid=1, expected_components=1)
+        final.add_component(grid_match(0, 1, 32))
+        final.add_component(grid_match(0, 1, 16))
+        assert final.components[0].pss == 32 / GRID
+        assert final.score == 32 / GRID
+
+
+class TestEngineCallSites:
+    """The kernels are interchangeable through every engine path."""
+
+    @pytest.fixture(scope="class")
+    def engines(self, small_bundle):
+        return {
+            kernel: SemanticGraphQueryEngine(
+                small_bundle.kg,
+                small_bundle.space,
+                small_bundle.library,
+                assembly_kernel=kernel,
+            )
+            for kernel in ("reference", "vectorized")
+        }
+
+    def test_sgq_identical(self, engines, small_bundle):
+        for item in small_bundle.workload:
+            reference = engines["reference"].search(item.query, k=10)
+            vectorized = engines["vectorized"].search(item.query, k=10)
+            assert reference.ta_accesses == vectorized.ta_accesses, item.qid
+            assert reference.ta_rounds == vectorized.ta_rounds, item.qid
+            assert reference.ta_truncated == vectorized.ta_truncated, item.qid
+            assert [m.pivot_uid for m in reference.matches] == [
+                m.pivot_uid for m in vectorized.matches
+            ], item.qid
+            assert [m.score for m in reference.matches] == [
+                m.score for m in vectorized.matches
+            ], item.qid
+
+    def test_tbq_identical_under_budget_clock(self, engines, small_bundle):
+        item = small_bundle.workload[0]
+        results = {}
+        for kernel, engine in engines.items():
+            clock = BudgetClock(seconds_per_tick=0.001)
+            results[kernel] = engine.search_time_bounded(
+                item.query, k=10, time_bound=0.05, clock=clock
+            )
+        reference, vectorized = results["reference"], results["vectorized"]
+        assert reference.ta_accesses == vectorized.ta_accesses
+        assert reference.ta_rounds == vectorized.ta_rounds
+        assert [m.pivot_uid for m in reference.matches] == [
+            m.pivot_uid for m in vectorized.matches
+        ]
+        assert [m.score for m in reference.matches] == [
+            m.score for m in vectorized.matches
+        ]
+
+    def test_exhaustive_assembly_identical(self, engines, small_bundle):
+        item = small_bundle.workload[0]
+        reference = engines["reference"].search(
+            item.query, k=10, exhaustive_assembly=True
+        )
+        vectorized = engines["vectorized"].search(
+            item.query, k=10, exhaustive_assembly=True
+        )
+        assert reference.ta_accesses == vectorized.ta_accesses
+        assert [m.score for m in reference.matches] == [
+            m.score for m in vectorized.matches
+        ]
+
+    def test_engine_rejects_unknown_kernel(self, small_bundle):
+        with pytest.raises(SearchError):
+            SemanticGraphQueryEngine(
+                small_bundle.kg,
+                small_bundle.space,
+                small_bundle.library,
+                assembly_kernel="simd",
+            )
+
+    def test_timing_split_reported(self, engines, small_bundle):
+        result = engines["vectorized"].search(small_bundle.workload[0].query, k=5)
+        assert result.assembly_seconds >= 0.0
+        assert result.search_seconds >= 0.0
+        assert (
+            result.assembly_seconds + result.search_seconds
+            <= result.elapsed_seconds + 1e-9
+        )

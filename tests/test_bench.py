@@ -271,3 +271,38 @@ class TestReporting:
         rows = effectiveness_sweep(small_bundle, [sgq_adapter(small_bundle)], ks=(5,))
         text = format_sweep(rows, "demo")
         assert "SGQ" in text and "time (ms)" in text
+
+
+class TestAssemblyBenchHarness:
+    def test_comparison_equivalence_folds_in_endtoend_mismatch(self):
+        """Equivalence must reflect *every* gate — the synthetic cases
+        and an attached end-to-end comparison — in the object and the
+        CI artifact alike."""
+        from repro.bench.assemblybench import AssemblyKernelComparison
+
+        comparison = AssemblyKernelComparison(
+            num_cases=1,
+            reference_seconds=1.0,
+            vectorized_seconds=0.1,
+        )
+        assert comparison.equivalent
+        assert comparison.to_json()["equivalent"]
+        comparison.d12 = {
+            "equivalent": False,
+            "mismatch": "D12#0: score 1.0 != 2.0",
+        }
+        assert not comparison.equivalent
+        payload = comparison.to_json()
+        assert not payload["equivalent"]
+        assert payload["mismatches"] == ["D12#0: score 1.0 != 2.0"]
+
+    def test_smoke_cases_conformant(self):
+        """The exact case mix the CI gate runs stays result-identical."""
+        from repro.bench.assemblybench import (
+            compare_assembly_kernels,
+            default_cases,
+        )
+
+        comparison = compare_assembly_kernels(default_cases("smoke"), passes=1)
+        assert comparison.equivalent, comparison.mismatches
+        assert comparison.num_cases == 5

@@ -1,4 +1,10 @@
-"""Tests for TA-based assembly (Section V-C, Theorem 3)."""
+"""Tests for TA-based assembly (Section V-C, Theorem 3).
+
+Parametrised over both assembly kernels (the pure-Python reference and
+the incremental vectorized kernel) — every behavioural contract here must
+hold identically for both; `tests/test_assembly_kernel.py` additionally
+asserts cross-kernel equality on randomized inputs.
+"""
 
 import pytest
 
@@ -6,6 +12,11 @@ from repro.core.assembly import AssemblyResult, MatchStream, assemble_top_k
 from repro.core.results import PathMatch
 from repro.errors import SearchError
 from repro.kg.paths import Path
+
+
+@pytest.fixture(params=["reference", "vectorized"])
+def kernel(request):
+    return request.param
 
 
 def match(subquery_index, pivot, pss):
@@ -42,6 +53,23 @@ class TestMatchStream:
         assert stream.exhausted
         assert stream.current_pss == 0.0
 
+    def test_exhaustion_probe_not_counted_as_access(self):
+        """The pull that discovers the end reads nothing — counting it
+        would inflate the paper's sorted-access reporting."""
+        stream = MatchStream.from_list([match(0, 1, 0.9), match(0, 2, 0.5)])
+        stream.next()
+        stream.next()
+        assert stream.accesses == 2
+        assert stream.next() is None
+        assert stream.accesses == 2
+        assert stream.next() is None  # idempotent after exhaustion
+        assert stream.accesses == 2
+
+    def test_empty_stream_counts_zero_accesses(self):
+        stream = MatchStream.from_list([])
+        assert stream.next() is None
+        assert stream.accesses == 0
+
     def test_current_pss_before_access_is_one(self):
         stream = MatchStream.from_list([match(0, 1, 0.5)])
         assert stream.current_pss == 1.0
@@ -55,77 +83,131 @@ class TestMatchStream:
 
 
 class TestAssembly:
-    def test_top1_is_best_joint_score(self):
-        result = assemble_top_k(figure10_streams(), k=1)
+    def test_top1_is_best_joint_score(self, kernel):
+        result = assemble_top_k(figure10_streams(), k=1, kernel=kernel)
         assert result.matches[0].pivot_uid in (1, 2)
         # u2: 0.98 + 0.77 = 1.75; u1: 0.82 + 0.89 = 1.71 -> u2 wins.
         assert result.matches[0].pivot_uid == 2
         assert result.matches[0].score == pytest.approx(1.75)
 
-    def test_top2_matches_fig10(self):
-        result = assemble_top_k(figure10_streams(), k=2)
+    def test_top2_matches_fig10(self, kernel):
+        result = assemble_top_k(figure10_streams(), k=2, kernel=kernel)
         assert [m.pivot_uid for m in result.matches] == [2, 1]
         assert result.matches[1].score == pytest.approx(0.82 + 0.89)
 
-    def test_early_termination_skips_accesses(self):
-        eager = assemble_top_k(figure10_streams(), k=2)
-        exhaustive = assemble_top_k(figure10_streams(), k=2, exhaustive=True)
+    def test_early_termination_skips_accesses(self, kernel):
+        eager = assemble_top_k(figure10_streams(), k=2, kernel=kernel)
+        exhaustive = assemble_top_k(
+            figure10_streams(), k=2, exhaustive=True, kernel=kernel
+        )
         assert eager.terminated_early
         assert eager.accesses < exhaustive.accesses
 
-    def test_exhaustive_equals_early_result(self):
+    def test_exhaustive_equals_early_result(self, kernel):
         """Theorem 3: early termination returns exactly the true top-k."""
-        eager = assemble_top_k(figure10_streams(), k=2)
-        exhaustive = assemble_top_k(figure10_streams(), k=2, exhaustive=True)
+        eager = assemble_top_k(figure10_streams(), k=2, kernel=kernel)
+        exhaustive = assemble_top_k(
+            figure10_streams(), k=2, exhaustive=True, kernel=kernel
+        )
         assert [m.pivot_uid for m in eager.matches] == [
             m.pivot_uid for m in exhaustive.matches
         ]
         for a, b in zip(eager.matches, exhaustive.matches):
             assert a.score == pytest.approx(b.score)
 
-    def test_components_recorded(self):
-        result = assemble_top_k(figure10_streams(), k=1)
+    def test_components_recorded(self, kernel):
+        result = assemble_top_k(figure10_streams(), k=1, kernel=kernel)
         top = result.matches[0]
         assert set(top.components) == {0, 1}
         assert top.is_complete
 
-    def test_single_stream_needs_k_accesses_plus_termination(self):
+    def test_single_stream_needs_k_accesses_plus_termination(self, kernel):
         stream = MatchStream.from_list([match(0, i, 1.0 - i * 0.1) for i in range(8)])
-        result = assemble_top_k([stream], k=3)
+        result = assemble_top_k([stream], k=3, kernel=kernel)
         assert len(result.matches) == 3
         assert result.accesses <= 4  # k pulls + at most one extra round
 
-    def test_fewer_matches_than_k(self):
+    def test_fewer_matches_than_k(self, kernel):
         stream = MatchStream.from_list([match(0, 1, 0.9)])
-        result = assemble_top_k([stream], k=5)
+        result = assemble_top_k([stream], k=5, kernel=kernel)
         assert len(result.matches) == 1
 
-    def test_incomplete_candidates_rank_below_complete(self):
+    def test_incomplete_candidates_rank_below_complete(self, kernel):
         m1 = [match(0, 1, 0.9), match(0, 2, 0.8)]
         m2 = [match(1, 1, 0.9)]  # pivot 2 never matched in stream 2
         result = assemble_top_k(
-            [MatchStream.from_list(m1), MatchStream.from_list(m2)], k=2
+            [MatchStream.from_list(m1), MatchStream.from_list(m2)],
+            k=2,
+            kernel=kernel,
         )
         assert result.matches[0].pivot_uid == 1
         assert result.matches[0].is_complete
         assert not result.matches[1].is_complete
 
-    def test_duplicate_pivot_in_stream_keeps_best(self):
+    def test_duplicate_pivot_in_stream_keeps_best(self, kernel):
         m1 = [match(0, 1, 0.9), match(0, 1, 0.7)]
-        result = assemble_top_k([MatchStream.from_list(m1)], k=1, exhaustive=True)
+        result = assemble_top_k(
+            [MatchStream.from_list(m1)], k=1, exhaustive=True, kernel=kernel
+        )
         assert result.matches[0].score == pytest.approx(0.9)
 
-    def test_validation(self):
+    def test_validation(self, kernel):
         with pytest.raises(SearchError):
-            assemble_top_k([], k=1)
+            assemble_top_k([], k=1, kernel=kernel)
         with pytest.raises(SearchError):
-            assemble_top_k(figure10_streams(), k=0)
+            assemble_top_k(figure10_streams(), k=0, kernel=kernel)
 
-    def test_max_rounds_cap(self):
-        result = assemble_top_k(figure10_streams(), k=4, max_rounds=1, exhaustive=True)
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SearchError):
+            assemble_top_k(figure10_streams(), k=1, kernel="gpu")
+
+    def test_max_rounds_cap(self, kernel):
+        result = assemble_top_k(
+            figure10_streams(), k=4, max_rounds=1, exhaustive=True, kernel=kernel
+        )
         assert result.accesses == 2  # one access per stream
 
-    def test_ties_break_by_pivot_uid(self):
+    def test_ties_break_by_pivot_uid(self, kernel):
         m1 = [match(0, 5, 0.8), match(0, 3, 0.8)]
-        result = assemble_top_k([MatchStream.from_list(m1)], k=2, exhaustive=True)
+        result = assemble_top_k(
+            [MatchStream.from_list(m1)], k=2, exhaustive=True, kernel=kernel
+        )
         assert [m.pivot_uid for m in result.matches] == [3, 5]
+
+
+class TestRoundsAndTruncation:
+    """Satellite: `rounds` and `truncated` disambiguate how the TA ended."""
+
+    def test_clean_drain_is_not_truncated(self, kernel):
+        stream = MatchStream.from_list([match(0, 1, 0.9)])
+        result = assemble_top_k([stream], k=5, kernel=kernel)
+        assert not result.truncated
+        assert not result.terminated_early
+        # One productive round plus the final all-exhausted probe round.
+        assert result.rounds == 2
+
+    def test_early_termination_is_not_truncated(self, kernel):
+        result = assemble_top_k(figure10_streams(), k=2, kernel=kernel)
+        assert result.terminated_early
+        assert not result.truncated
+        assert result.rounds >= 1
+
+    def test_max_rounds_sets_truncated(self, kernel):
+        result = assemble_top_k(
+            figure10_streams(), k=4, max_rounds=1, exhaustive=True, kernel=kernel
+        )
+        assert result.truncated
+        assert not result.terminated_early
+        assert result.rounds == 1
+
+    def test_generous_max_rounds_not_truncated(self, kernel):
+        result = assemble_top_k(
+            figure10_streams(), k=4, max_rounds=100, exhaustive=True, kernel=kernel
+        )
+        assert not result.truncated
+        assert result.rounds < 100
+
+    def test_default_fields(self):
+        result = AssemblyResult(matches=[], accesses=0, terminated_early=False)
+        assert result.rounds == 0
+        assert not result.truncated

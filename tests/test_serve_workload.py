@@ -90,6 +90,32 @@ class TestReplay:
         assert report.completed == 0
         assert report.throughput_qps == 0.0
 
+    def test_breakdown_collects_split_per_query(self, service, small_bundle):
+        items = [
+            WorkloadItem(query=q.query, k=4, qid=q.qid)
+            for q in small_bundle.workload[:3]
+        ]
+        report = replay(service, items, breakdown=True)
+        assert report.breakdown is not None
+        assert len(report.breakdown) == 3
+        qids = {row.qid for row in report.breakdown}
+        assert qids == {q.qid for q in items}
+        for row in report.breakdown:
+            assert row.search_seconds >= 0.0
+            assert row.assembly_seconds >= 0.0
+            assert 0.0 <= row.assembly_share <= 1.0
+            assert row.ta_rounds >= 1
+            assert not row.truncated
+        text = report.describe()
+        assert "assembly share" in text
+        assert "search vs assembly per query" in text
+
+    def test_breakdown_off_by_default(self, service, small_bundle):
+        report = replay(service, [small_bundle.workload[0].query], k=4)
+        assert report.breakdown is None
+        assert report.truncated == 0
+        assert "assembly share" not in report.describe()
+
 
 class TestConsoleEntrypoint:
     def test_main_smoke(self, capsys):
@@ -115,6 +141,51 @@ class TestConsoleEntrypoint:
         assert "pass 2/2 (warm)" in out
         assert "throughput" in out
         assert "hit_rate" in out
+
+    def test_main_breakdown_flag(self, capsys):
+        code = workload_main(
+            [
+                "--preset",
+                "dbpedia",
+                "--scale",
+                "1.0",
+                "--seed",
+                "11",
+                "--repeats",
+                "1",
+                "--k",
+                "4",
+                "--workers",
+                "2",
+                "--breakdown",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "assembly share" in out
+        assert "search vs assembly per query" in out
+
+    def test_main_reference_assembly_kernel(self, capsys):
+        code = workload_main(
+            [
+                "--preset",
+                "dbpedia",
+                "--scale",
+                "1.0",
+                "--seed",
+                "11",
+                "--repeats",
+                "1",
+                "--k",
+                "4",
+                "--workers",
+                "2",
+                "--assembly-kernel",
+                "reference",
+            ]
+        )
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out
 
     def test_main_compact_view(self, capsys):
         code = workload_main(
