@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""CI smoke gate for the compact CSR kernel and the TA assembly kernel.
+"""CI smoke gate for the compact CSR, TA assembly and A* search kernels.
 
-Runs two result-equivalence gates on small fixed workloads and exits
+Runs three result-equivalence gates on small fixed workloads and exits
 non-zero **only** on a mismatch — the one property CI can judge on shared
 runners.  Timing numbers are recorded in the artifacts but never gate the
 build (CI machines are too noisy for that; the full-scale benches in
@@ -11,7 +11,11 @@ build (CI machines are too noisy for that; the full-scale benches in
    ``benchmarks/results/BENCH_compact_kernel.json``;
 2. reference vs vectorized TA assembly (``repro.bench.assemblybench``:
    fixed synthetic stream cases plus one end-to-end engine query) →
-   ``benchmarks/results/BENCH_ta_assembly.json``.
+   ``benchmarks/results/BENCH_ta_assembly.json``;
+3. reference vs array-backed A* search (``repro.bench.searchbench``:
+   every workload query drained under both visited policies, plus one
+   end-to-end engine query) →
+   ``benchmarks/results/BENCH_astar_kernel.json``.
 
 Usage::
 
@@ -39,6 +43,10 @@ from repro.bench.assemblybench import (  # noqa: E402
 from repro.bench.compactbench import compare_kernels  # noqa: E402
 from repro.bench.datasets import load_bundle  # noqa: E402
 from repro.bench.reporting import emit_json  # noqa: E402
+from repro.bench.searchbench import (  # noqa: E402
+    compare_search_kernels,
+    d12_search_comparison,
+)
 
 
 def main(argv=None) -> int:
@@ -108,6 +116,31 @@ def main(argv=None) -> int:
         print("EQUIVALENCE MISMATCH between vectorized and reference "
               "assembly kernels:", file=sys.stderr)
         for problem in assembly.mismatches[:10]:
+            print(f"  {problem}", file=sys.stderr)
+
+    # -- gate 3: reference vs array-backed A* search kernel ---------------
+    search = compare_search_kernels(bundle, passes=args.passes)
+    search.d12 = d12_search_comparison(bundle, k=args.k, passes=args.passes)
+    path = emit_json("BENCH_astar_kernel", search.to_json())
+    print(
+        f"search: reference {search.reference_seconds * 1000:.1f} ms, "
+        f"vectorized {search.vectorized_seconds * 1000:.1f} ms "
+        f"(speedup {search.speedup:.2f}x, informational); "
+        f"end-to-end {search.d12['qid']}: "
+        f"{search.d12['reference_ms']:.1f} -> "
+        f"{search.d12['vectorized_ms']:.1f} ms"
+    )
+    print(f"report: {path}")
+    if search.equivalent:  # folds in the end-to-end comparison
+        print(
+            f"search equivalence OK on all {search.num_cases} "
+            f"(query, policy) cases + {search.d12['qid']}"
+        )
+    else:
+        failed = True
+        print("DECISION MISMATCH between vectorized and reference "
+              "search kernels:", file=sys.stderr)
+        for problem in search.mismatches[:10]:
             print(f"  {problem}", file=sys.stderr)
 
     return 1 if failed else 0

@@ -1,18 +1,37 @@
-"""Shared result-identity predicate for the kernel equivalence gates.
+"""Shared result-identity predicates for the kernel equivalence gates.
 
 Every kernel this reproduction adds (the compact CSR semantic-graph view,
-the vectorized TA assembly kernel) claims *identical results* to its
-reference implementation — same final matches, bit-equal scores, same
-components.  This module owns the one definition of that claim, so the
-CI gates (`repro.bench.compactbench`, `repro.bench.assemblybench`,
-`scripts/bench_smoke.py`) cannot drift in what they actually check.
+the vectorized TA assembly kernel, the array-backed A* search kernel)
+claims *identical results* to its reference implementation — same final
+matches, bit-equal scores, same components, and for the search kernel
+the same per-sub-query emission stream and counters.  This module owns
+the one definition of those claims, so the CI gates
+(`repro.bench.compactbench`, `repro.bench.assemblybench`,
+`repro.bench.searchbench`, `scripts/bench_smoke.py`) and the conformance
+test suites cannot drift in what they actually check.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.results import FinalMatch
+from repro.core.results import FinalMatch, PathMatch, SearchStats
+
+#: SearchStats counters that must match bit-for-bit across search
+#: kernels.  ``nodes_touched`` / ``edges_weighted`` are *view*-level
+#: materialisation counters (already documented to differ between lazy
+#: and compact views) and ``elapsed_seconds`` is wall time, so they are
+#: compared only where the harness controls the view.
+SEARCH_STAT_FIELDS = (
+    "expansions",
+    "states_generated",
+    "pruned_by_tau",
+    "pruned_by_visited",
+    "pruned_by_bound",
+    "stale_pops",
+    "goals_emitted",
+    "max_queue_size",
+)
 
 
 def final_matches_differ(
@@ -41,4 +60,42 @@ def final_matches_differ(
                 return f"{label}#{rank}/g{index}: pss {pa.pss!r} != {pb.pss!r}"
             if pa.path != pb.path:
                 return f"{label}#{rank}/g{index}: path differs"
+    return None
+
+
+def path_matches_differ(
+    label: str,
+    expected: Sequence[PathMatch],
+    actual: Sequence[PathMatch],
+) -> Optional[str]:
+    """First difference between two sub-query match streams, or ``None``.
+
+    Identical means: same match count and *emission order*, same pivot
+    uids, bit-equal pss, same sub-query index and equal path (down to
+    the shared ``Edge`` objects) — the search-kernel half of the
+    result-identity claim, before any TA assembly.
+    """
+    if len(expected) != len(actual):
+        return f"{label}: match count {len(expected)} != {len(actual)}"
+    for rank, (a, b) in enumerate(zip(expected, actual)):
+        if a.pivot_uid != b.pivot_uid:
+            return f"{label}#{rank}: pivot {a.pivot_uid} != {b.pivot_uid}"
+        if a.pss != b.pss:
+            return f"{label}#{rank}: pss {a.pss!r} != {b.pss!r}"
+        if a.subquery_index != b.subquery_index:
+            return f"{label}#{rank}: subquery index differs"
+        if a.path != b.path:
+            return f"{label}#{rank}: path differs"
+    return None
+
+
+def search_stats_differ(
+    label: str, expected: SearchStats, actual: SearchStats
+) -> Optional[str]:
+    """First differing search counter (see ``SEARCH_STAT_FIELDS``)."""
+    for field in SEARCH_STAT_FIELDS:
+        a = getattr(expected, field)
+        b = getattr(actual, field)
+        if a != b:
+            return f"{label}: {field} {a} != {b}"
     return None

@@ -48,6 +48,57 @@ from repro.query.transform import NodeMatcher
 from repro.utils.heap import MaxHeap
 from repro.utils.timing import Clock, Stopwatch, WallClock
 
+#: Valid ``kernel=`` names for the per-sub-query search, owned here (the
+#: dispatch point) the way ``assembly.ASSEMBLY_KERNELS`` owns the TA
+#: kernel names.  ``"auto"`` resolves per view: the vectorized kernel
+#: when the view exposes the compact CSR surface, the reference search
+#: otherwise.
+SEARCH_KERNELS = ("auto", "vectorized", "reference")
+
+
+def build_subquery_search(
+    view: WeightedGraphView,
+    subquery: SubQueryGraph,
+    matcher: NodeMatcher,
+    config: SearchConfig,
+    subquery_index: int = 0,
+    clock: Optional[Clock] = None,
+    *,
+    kernel: str = "auto",
+):
+    """Construct the A* search for one sub-query behind the kernel seam.
+
+    ``kernel="reference"`` always builds :class:`SubQuerySearch` (the
+    Algorithm 1 transcription below); ``"vectorized"`` builds the
+    array-backed :class:`~repro.core.search_kernel.VectorizedSubQuerySearch`
+    and raises when the view cannot support it; ``"auto"`` (the default)
+    picks the vectorized kernel exactly when the view can feed it.  Both
+    kernels are decision-identical — same matches, same pss, same
+    emission order, same search stats — so the choice only moves cost.
+    """
+    if kernel not in SEARCH_KERNELS:
+        raise SearchError(
+            f"unknown search kernel {kernel!r} (expected one of {SEARCH_KERNELS})"
+        )
+    if kernel != "reference":
+        from repro.core.search_kernel import (
+            VectorizedSubQuerySearch,
+            supports_vectorized_search,
+        )
+
+        if supports_vectorized_search(view):
+            return VectorizedSubQuerySearch(
+                view, subquery, matcher, config, subquery_index, clock
+            )
+        if kernel == "vectorized":
+            raise SearchError(
+                "search kernel 'vectorized' needs a compact view exposing "
+                "the CSR surface (graph / weight_row_array / "
+                f"bounds_row_array); {type(view).__name__} does not — build "
+                "the engine with compact=True or pass kernel='auto'"
+            )
+    return SubQuerySearch(view, subquery, matcher, config, subquery_index, clock)
+
 
 @dataclass
 class _State:
@@ -221,7 +272,11 @@ class SubQuerySearch:
             if self.config.visited_policy is VisitedPolicy.EXPAND:
                 best = self._best_g.get(state.fine_key())
                 if best is not None and state.log_product < best:
-                    continue  # stale entry superseded by a better path
+                    # Stale entry superseded by a better path — the lazy
+                    # decrease-key leaves it in the heap, so it costs a
+                    # pop without becoming an expansion.
+                    self.stats.stale_pops += 1
+                    continue
             return state
         return None
 

@@ -151,8 +151,10 @@ class CompactSemanticGraphView:
         # list mirror serves the scalar hot loop (python floats, no
         # np.float64 boxing per element).
         self._weight_rows: Dict[str, Tuple[np.ndarray, List[float]]] = {}
-        # L1, per query: query predicate -> per-node m(u) list.
+        # L1, per query: query predicate -> per-node m(u) list, plus the
+        # read-only array the vectorized search kernel consumes.
         self._bounds_rows: Dict[str, List[float]] = {}
+        self._bounds_arrays: Dict[str, np.ndarray] = {}
         self._touched_nodes: Set[int] = set()
         # Pair weights materialised by this view.  The unit of work is a
         # whole row, so each computed row counts |graph predicates| pairs
@@ -221,6 +223,7 @@ class CompactSemanticGraphView:
             if shared is not None:
                 bounds = shared.tolist()
                 self._bounds_rows[query_predicate] = bounds
+                self._bounds_arrays[query_predicate] = shared
                 self.cache_hits += 1
                 return bounds
         row, _row_list = self._weight_row(query_predicate)
@@ -233,10 +236,11 @@ class CompactSemanticGraphView:
             # reduceat needs non-empty segments: reduce only rows with
             # incidence, leave isolated nodes at m(u) = 0.
             values[nonempty] = np.maximum.reduceat(slot_weights, starts[nonempty])
+        values.flags.writeable = False
         bounds = values.tolist()
         self._bounds_rows[query_predicate] = bounds
+        self._bounds_arrays[query_predicate] = values
         if self._cache is not None:
-            values.flags.writeable = False
             self._cache.put_row("bounds", query_predicate, values)
         return bounds
 
@@ -311,6 +315,36 @@ class CompactSemanticGraphView:
             if weight > best:
                 best = weight
         return best
+
+    # ------------------------------------------------------------------
+    # whole-row surface for the vectorized search kernel
+    # ------------------------------------------------------------------
+    def weight_row_array(self, query_predicate: str) -> np.ndarray:
+        """Read-only clamped weights per interned graph-predicate id.
+
+        The same row :meth:`weighted_incident` serves scalars from, so a
+        search kernel indexing it by ``slot_predicate`` sees bit-equal
+        weights in CSR slot order.
+        """
+        return self._weight_row(query_predicate)[0]
+
+    def bounds_row_array(self, query_predicate: str) -> np.ndarray:
+        """Read-only ``m(u)`` (Lemma 1) per node, as one float64 vector."""
+        array = self._bounds_arrays.get(query_predicate)
+        if array is None:
+            self._bounds_row(query_predicate)
+            array = self._bounds_arrays[query_predicate]
+        return array
+
+    def note_touched(self, uids: Iterable[int]) -> None:
+        """Record nodes a search kernel consulted out-of-band.
+
+        The vectorized search kernel reads whole-graph rows instead of
+        calling :meth:`weighted_incident` / :meth:`max_adjacent_weight_any`
+        per node; it reports the nodes those calls *would* have touched
+        here, so ``touched_nodes`` stays comparable across kernels.
+        """
+        self._touched_nodes.update(uids)
 
     # ------------------------------------------------------------------
     # introspection (parity with SemanticGraphView)

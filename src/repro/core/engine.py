@@ -21,7 +21,7 @@ import time
 from typing import Callable, List, Optional
 
 from repro.core.assembly import ASSEMBLY_KERNELS, MatchStream, assemble_top_k
-from repro.core.astar import SubQuerySearch
+from repro.core.astar import SEARCH_KERNELS, SubQuerySearch, build_subquery_search
 from repro.core.compact_view import CompactViewFactory, ViewFactory, lazy_view_factory
 from repro.core.config import SearchConfig
 from repro.core.results import QueryResult
@@ -90,6 +90,14 @@ class SemanticGraphQueryEngine:
             :mod:`repro.core.assembly_kernel`) or ``"reference"`` (the
             pure-Python Eq. 8-11 transcription).  Results are identical;
             only assembly cost changes.
+        search_kernel: per-sub-query A* implementation — ``"auto"``
+            (default: the array-backed
+            :mod:`repro.core.search_kernel` whenever the query view
+            exposes the compact CSR surface, the reference search
+            otherwise), ``"vectorized"`` (force the array kernel;
+            raises on views that cannot feed it) or ``"reference"``
+            (the Algorithm 1 transcription, :mod:`repro.core.astar`).
+            Results are identical; only search cost changes.
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class SemanticGraphQueryEngine:
         view_factory: Optional[ViewFactory] = None,
         compact: bool = False,
         assembly_kernel: str = "vectorized",
+        search_kernel: str = "auto",
     ):
         if compact and view_factory is not None:
             raise SearchError("pass either compact=True or view_factory, not both")
@@ -111,7 +120,23 @@ class SemanticGraphQueryEngine:
                 f"unknown assembly kernel {assembly_kernel!r} "
                 f"(expected one of {ASSEMBLY_KERNELS})"
             )
+        if search_kernel not in SEARCH_KERNELS:
+            raise SearchError(
+                f"unknown search kernel {search_kernel!r} "
+                f"(expected one of {SEARCH_KERNELS})"
+            )
+        if search_kernel == "vectorized" and not compact and view_factory is None:
+            # Statically knowable misconfiguration: the default lazy view
+            # can never feed the vectorized kernel, so fail at
+            # construction rather than on every query.  A custom
+            # view_factory is checked per query (it may produce compact
+            # views).
+            raise SearchError(
+                "search_kernel='vectorized' needs compact views; pass "
+                "compact=True (or a view_factory producing compact views)"
+            )
         self.assembly_kernel = assembly_kernel
+        self.search_kernel = search_kernel
         self.kg = kg
         self.space = space
         self.config = config if config is not None else SearchConfig()
@@ -162,13 +187,14 @@ class SemanticGraphQueryEngine:
         clock: Optional[Clock] = None,
     ) -> List[SubQuerySearch]:
         return [
-            SubQuerySearch(
+            build_subquery_search(
                 view,
                 subquery,
                 self.matcher,
                 self.config,
                 subquery_index=index,
                 clock=clock,
+                kernel=self.search_kernel,
             )
             for index, subquery in enumerate(decomposition.subqueries)
         ]

@@ -75,13 +75,21 @@ class FinalMatch:
 
 @dataclass
 class SearchStats:
-    """Instrumentation of one A* sub-query search."""
+    """Instrumentation of one A* sub-query search.
+
+    ``stale_pops`` counts EXPAND-policy heap entries that popped after a
+    better path to the same fine-grained state superseded them (the lazy
+    decrease-key leaves the old entry in the queue).  They cost a pop
+    each without becoming expansions, so queue-health reporting needs
+    them separately; under the GENERATE policy the counter stays 0.
+    """
 
     expansions: int = 0
     states_generated: int = 0
     pruned_by_tau: int = 0
     pruned_by_visited: int = 0
     pruned_by_bound: int = 0
+    stale_pops: int = 0
     goals_emitted: int = 0
     max_queue_size: int = 0
     edges_weighted: int = 0
@@ -96,6 +104,7 @@ class SearchStats:
             pruned_by_tau=self.pruned_by_tau + other.pruned_by_tau,
             pruned_by_visited=self.pruned_by_visited + other.pruned_by_visited,
             pruned_by_bound=self.pruned_by_bound + other.pruned_by_bound,
+            stale_pops=self.stale_pops + other.stale_pops,
             goals_emitted=self.goals_emitted + other.goals_emitted,
             max_queue_size=max(self.max_queue_size, other.max_queue_size),
             edges_weighted=self.edges_weighted + other.edges_weighted,
@@ -135,6 +144,38 @@ class QueryResult:
     def search_seconds(self) -> float:
         """Time outside the TA (decomposition + view + A* search)."""
         return max(self.elapsed_seconds - self.assembly_seconds, 0.0)
+
+    # Search-side counters, aggregated across sub-queries — the queue
+    # health of the A* half of the query, surfaced next to the TA
+    # bookkeeping so workload reports can split a slow query into
+    # search-bound vs assembly-bound without digging into per-sub-query
+    # stats.
+    @property
+    def expansions(self) -> int:
+        """A* pop-and-expand iterations across all sub-query searches."""
+        return sum(stats.expansions for stats in self.subquery_stats)
+
+    @property
+    def pruned_by_tau(self) -> int:
+        """Arrivals dropped by the τ estimate bound (Lemma 3)."""
+        return sum(stats.pruned_by_tau for stats in self.subquery_stats)
+
+    @property
+    def pruned_by_visited(self) -> int:
+        """Arrivals dropped by the visited policy (either flavour)."""
+        return sum(stats.pruned_by_visited for stats in self.subquery_stats)
+
+    @property
+    def stale_pops(self) -> int:
+        """EXPAND-policy pops discarded as superseded heap entries."""
+        return sum(stats.stale_pops for stats in self.subquery_stats)
+
+    @property
+    def max_queue_size(self) -> int:
+        """Peak A* frontier size over all sub-query searches."""
+        return max(
+            (stats.max_queue_size for stats in self.subquery_stats), default=0
+        )
 
     def answer_uids(self) -> List[int]:
         """The answer entities (pivot matches), best first."""

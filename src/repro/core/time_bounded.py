@@ -49,7 +49,14 @@ class TimeBoundedOutcome:
 
 
 class TimeBoundedCoordinator:
-    """Round-robin driver of several time-bounded sub-query searches."""
+    """Round-robin driver of several time-bounded sub-query searches.
+
+    ``searches`` may mix search kernels: anything with the
+    :class:`SubQuerySearch` pull surface (``step(harvest=)`` /
+    ``exhausted``) qualifies, so the array-backed
+    :class:`~repro.core.search_kernel.VectorizedSubQuerySearch` harvests
+    through the same path as the reference search.
+    """
 
     def __init__(
         self,

@@ -89,12 +89,21 @@ class CompactGraph:
         "slot_forward",
         "node_slots",
         "_edges",
+        "_indptr_list",
+        "_slot_neighbor_list",
     )
 
     # Derived-object state: reconstructable from the arrays, so pickling
     # ships only numeric tables (plus name strings) — not the object
     # graph the kernel exists to replace.
-    _TRANSIENT = ("__weakref__", "kg", "node_slots", "_edges")
+    _TRANSIENT = (
+        "__weakref__",
+        "kg",
+        "node_slots",
+        "_edges",
+        "_indptr_list",
+        "_slot_neighbor_list",
+    )
 
     def __init__(self, **fields):
         for name in self.__slots__:
@@ -196,6 +205,8 @@ class CompactGraph:
             slot_forward=slot_forward,
             node_slots=node_slots,
             _edges=edges,
+            _indptr_list=None,
+            _slot_neighbor_list=None,
         )
 
     # ------------------------------------------------------------------
@@ -222,6 +233,39 @@ class CompactGraph:
     def degree(self, uid: int) -> int:
         """Undirected degree of ``uid`` (CSR row length)."""
         return int(self.indptr[uid + 1] - self.indptr[uid])
+
+    def indptr_list(self) -> List[int]:
+        """Python-int mirror of ``indptr``, built once per kernel.
+
+        The search kernel reads two ``indptr`` scalars per pop; the
+        memoized mirror keeps those reads unboxed without a per-search
+        ``tolist`` over the whole array.  Do not mutate.
+        """
+        if self._indptr_list is None:
+            object.__setattr__(self, "_indptr_list", self.indptr.tolist())
+        return self._indptr_list
+
+    def slot_neighbor_list(self) -> List[int]:
+        """Python-int mirror of ``slot_neighbor`` (see :meth:`indptr_list`)."""
+        if self._slot_neighbor_list is None:
+            object.__setattr__(
+                self, "_slot_neighbor_list", self.slot_neighbor.tolist()
+            )
+        return self._slot_neighbor_list
+
+    def uid_mask(self, uids) -> np.ndarray:
+        """Boolean node mask from an iterable of entity ids.
+
+        The building block for per-boundary φ-match bitmasks: a
+        ``NodeMatcher.matches`` candidate list becomes one ``bool`` array
+        the search kernel can fancy-index by ``slot_neighbor``, turning
+        per-arrival φ tests into one vectorized gather.
+        """
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        uid_list = list(uids)
+        if uid_list:
+            mask[uid_list] = True
+        return mask
 
     # ------------------------------------------------------------------
     def is_stale(self, kg: Optional[KnowledgeGraph] = None) -> bool:
@@ -259,6 +303,8 @@ class CompactGraph:
         for name, value in state.items():
             object.__setattr__(self, name, value)
         object.__setattr__(self, "kg", None)
+        object.__setattr__(self, "_indptr_list", None)
+        object.__setattr__(self, "_slot_neighbor_list", None)
         predicate_names = self.predicate_names
         edges = [
             Edge(source=source, predicate=predicate_names[pid], target=target)

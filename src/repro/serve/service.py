@@ -182,6 +182,7 @@ class QueryService:
         compact: bool = False,
         view_factory=None,
         assembly_kernel: str = "vectorized",
+        search_kernel: str = "auto",
         **kwargs,
     ) -> "QueryService":
         """Build an engine and wrap it in one call.
@@ -189,6 +190,7 @@ class QueryService:
         ``compact=True`` serves every query off the frozen CSR kernel
         (:mod:`repro.core.compact_view`); ``view_factory`` passes a custom
         view seam through; ``assembly_kernel`` picks the TA assembly
+        implementation and ``search_kernel`` the per-sub-query A*
         implementation.  Results are identical under every combination.
         """
         engine = SemanticGraphQueryEngine(
@@ -199,6 +201,7 @@ class QueryService:
             compact=compact,
             view_factory=view_factory,
             assembly_kernel=assembly_kernel,
+            search_kernel=search_kernel,
         )
         return cls(engine, **kwargs)
 

@@ -9,11 +9,15 @@ the way a load generator would hit a deployed system:
   whole workload at once (a pure throughput probe);
 - per-query **latency** is measured from scheduled submission to future
   completion and summarised as nearest-rank percentiles
-  (:func:`repro.utils.stats.percentile`);
+  (:func:`repro.utils.stats.percentile`), and additionally bucketed by
+  the workload's **complexity class** (simple / medium / complex, Table
+  VI) when items carry one — a replay report then shows which class the
+  tail belongs to;
 - the report carries a :class:`~repro.serve.cache.CacheStats` snapshot so
   cold/warm comparisons can attribute speedups to the shared weight cache;
 - ``breakdown=True`` (CLI: ``--breakdown``) additionally collects each
-  query's **search-vs-assembly time split** from the engine's
+  query's **search-vs-assembly time split** plus its A*-side counters
+  (expansions, τ/visited prunes, peak queue size) from the engine's
   ``QueryResult`` instrumentation, so assembly-bound queries (the D12
   class) can be told apart from search-bound ones; TA round-cap
   truncations are counted on every run.
@@ -30,10 +34,11 @@ import argparse
 import sys
 import threading
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.assembly import ASSEMBLY_KERNELS
+from repro.core.astar import SEARCH_KERNELS
 from repro.errors import ServeError
 from repro.query.model import QueryGraph
 from repro.serve.cache import CacheStats
@@ -44,12 +49,18 @@ from repro.utils.timing import Stopwatch
 
 @dataclass(frozen=True)
 class WorkloadItem:
-    """One replayable query with its serving parameters."""
+    """One replayable query with its serving parameters.
+
+    ``complexity`` is the query's Table VI class (``"simple"`` /
+    ``"medium"`` / ``"complex"``); when set, the replay report buckets
+    latency percentiles by it.  Empty means unclassified.
+    """
 
     query: QueryGraph
     k: int = 10
     deadline: Optional[float] = None
     qid: str = ""
+    complexity: str = ""
 
     def to_request(self) -> QueryRequest:
         return QueryRequest(
@@ -59,7 +70,7 @@ class WorkloadItem:
 
 @dataclass(frozen=True)
 class QueryBreakdown:
-    """One query's search-vs-assembly time split (from ``QueryResult``)."""
+    """One query's search-vs-assembly split plus A*-side counters."""
 
     qid: str
     elapsed_seconds: float
@@ -67,6 +78,11 @@ class QueryBreakdown:
     assembly_seconds: float
     ta_rounds: int
     truncated: bool
+    expansions: int = 0
+    pruned_by_tau: int = 0
+    pruned_by_visited: int = 0
+    stale_pops: int = 0
+    max_queue_size: int = 0
 
     @property
     def assembly_share(self) -> float:
@@ -77,7 +93,12 @@ class QueryBreakdown:
 
 @dataclass
 class ReplayReport:
-    """Throughput and latency summary of one replay pass."""
+    """Throughput and latency summary of one replay pass.
+
+    ``class_latencies`` buckets the per-query latencies by the workload
+    items' complexity class (sorted ascending per bucket); empty when no
+    item carried a class.
+    """
 
     completed: int
     failed: int
@@ -87,6 +108,7 @@ class ReplayReport:
     cache_stats: Optional[CacheStats] = None
     truncated: int = 0
     breakdown: Optional[List[QueryBreakdown]] = None
+    class_latencies: Dict[str, List[float]] = field(default_factory=dict)
 
     @property
     def throughput_qps(self) -> float:
@@ -124,6 +146,20 @@ class ReplayReport:
                 f"p99={self.p99 * 1000:.2f} "
                 f"max={max(self.latencies) * 1000:.2f}"
             )
+        if self.class_latencies:
+            lines.append("latency by complexity class:")
+            # Canonical order first, anything else alphabetically after.
+            canon = ("simple", "medium", "complex")
+            ordered_classes = [c for c in canon if c in self.class_latencies]
+            ordered_classes += sorted(set(self.class_latencies) - set(canon))
+            for cls in ordered_classes:
+                values = self.class_latencies[cls]
+                lines.append(
+                    f"  {cls} (n={len(values)}): "
+                    f"p50={percentile(values, 50) * 1000:.2f} "
+                    f"p90={percentile(values, 90) * 1000:.2f} "
+                    f"p99={percentile(values, 99) * 1000:.2f} ms"
+                )
         if self.cache_stats is not None:
             lines.append(f"weight cache: {self.cache_stats.describe()}")
         if self.truncated:
@@ -134,9 +170,18 @@ class ReplayReport:
             total = sum(b.elapsed_seconds for b in self.breakdown)
             assembly = sum(b.assembly_seconds for b in self.breakdown)
             share = assembly / total if total > 0 else 0.0
+            expansions = sum(b.expansions for b in self.breakdown)
+            pruned = sum(
+                b.pruned_by_tau + b.pruned_by_visited for b in self.breakdown
+            )
+            stale = sum(b.stale_pops for b in self.breakdown)
             lines.append(
                 f"assembly share: {share * 100.0:.1f}% of "
                 f"{total * 1000:.1f} ms total query time"
+            )
+            lines.append(
+                f"search totals: {expansions} expansions, {pruned} pruned, "
+                f"{stale} stale pops"
             )
             lines.append("search vs assembly per query (slowest assembly first):")
             ordered = sorted(self.breakdown, key=lambda b: -b.assembly_seconds)
@@ -147,7 +192,9 @@ class ReplayReport:
                     f" = search {row.search_seconds * 1000:.1f}"
                     f" + assembly {row.assembly_seconds * 1000:.1f}"
                     f" ({row.assembly_share * 100.0:.1f}% assembly,"
-                    f" {row.ta_rounds} rounds){flag}"
+                    f" {row.ta_rounds} rounds; {row.expansions} exp,"
+                    f" {row.pruned_by_tau}+{row.pruned_by_visited} pruned,"
+                    f" q<={row.max_queue_size}){flag}"
                 )
         return "\n".join(lines)
 
@@ -173,15 +220,20 @@ def replay(
     if rate is not None and rate <= 0:
         raise ServeError(f"arrival rate must be positive, got {rate}")
     requests = []
+    classes: List[str] = []
     for item in items:
         if isinstance(item, WorkloadItem):
             requests.append(item.to_request())
+            classes.append(item.complexity)
         elif isinstance(item, QueryRequest):
             requests.append(item)
+            classes.append("")
         else:
             requests.append(QueryRequest(query=item, k=k))
+            classes.append("")
 
     latencies: List[float] = []
+    class_latencies: Dict[str, List[float]] = {}
     failures = [0]
     truncated = [0]
     splits: List[QueryBreakdown] = []
@@ -197,6 +249,10 @@ def replay(
             with lock:
                 if f.exception() is None:
                     latencies.append(latency)
+                    if classes[index]:
+                        class_latencies.setdefault(classes[index], []).append(
+                            latency
+                        )
                     result = f.result()
                     if result.ta_truncated:
                         truncated[0] += 1
@@ -209,6 +265,11 @@ def replay(
                                 assembly_seconds=result.assembly_seconds,
                                 ta_rounds=result.ta_rounds,
                                 truncated=result.ta_truncated,
+                                expansions=result.expansions,
+                                pruned_by_tau=result.pruned_by_tau,
+                                pruned_by_visited=result.pruned_by_visited,
+                                stale_pops=result.stale_pops,
+                                max_queue_size=result.max_queue_size,
                             )
                         )
                 else:
@@ -246,6 +307,9 @@ def replay(
         cache_stats=service.cache.stats,
         truncated=truncated[0],
         breakdown=splits if breakdown else None,
+        class_latencies={
+            cls: sorted(values) for cls, values in class_latencies.items()
+        },
     )
 
 
@@ -310,6 +374,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--search-kernel",
+        default="auto",
+        choices=SEARCH_KERNELS,
+        help=(
+            "A* search implementation: 'auto' runs the array-backed "
+            "kernel whenever the view is compact, 'vectorized' forces it "
+            "(requires --view compact), 'reference' forces the Algorithm "
+            "1 transcription (identical results, different cost)"
+        ),
+    )
+    parser.add_argument(
         "--breakdown",
         action="store_true",
         help=(
@@ -336,6 +411,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--deadline must be positive, got {args.deadline}")
     if args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
+    if args.search_kernel == "vectorized" and args.view != "compact":
+        parser.error("--search-kernel vectorized requires --view compact")
     # Deferred import: bundle generation pulls in the full bench stack.
     from repro.bench.datasets import load_bundle
 
@@ -346,7 +423,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"({args.view} view)"
     )
     items = [
-        WorkloadItem(query=q.query, k=args.k, deadline=args.deadline, qid=q.qid)
+        WorkloadItem(
+            query=q.query,
+            k=args.k,
+            deadline=args.deadline,
+            qid=q.qid,
+            complexity=q.complexity,
+        )
         for q in bundle.workload
     ]
     with QueryService.build(
@@ -356,6 +439,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_workers=args.workers,
         compact=(args.view == "compact"),
         assembly_kernel=args.assembly_kernel,
+        search_kernel=args.search_kernel,
     ) as service:
         for run in range(1, args.repeats + 1):
             service.cache.reset_stats()

@@ -116,6 +116,45 @@ class TestReplay:
         assert report.truncated == 0
         assert "assembly share" not in report.describe()
 
+    def test_breakdown_carries_search_counters(self, service, small_bundle):
+        items = [
+            WorkloadItem(query=q.query, k=4, qid=q.qid)
+            for q in small_bundle.workload[:3]
+        ]
+        report = replay(service, items, breakdown=True)
+        assert report.breakdown is not None
+        for row in report.breakdown:
+            assert row.expansions > 0
+            assert row.pruned_by_tau >= 0
+            assert row.pruned_by_visited >= 0
+            assert row.stale_pops >= 0
+            assert row.max_queue_size > 0
+        text = report.describe()
+        assert "search totals:" in text
+        assert "expansions" in text and "stale pops" in text
+
+    def test_class_latency_buckets(self, service, small_bundle):
+        items = [
+            WorkloadItem(query=q.query, k=4, qid=q.qid, complexity=q.complexity)
+            for q in small_bundle.workload[:4]
+        ]
+        report = replay(service, items)
+        assert report.class_latencies  # workload queries carry classes
+        assert sum(len(v) for v in report.class_latencies.values()) == 4
+        expected = {q.complexity for q in small_bundle.workload[:4]}
+        assert set(report.class_latencies) == expected
+        for values in report.class_latencies.values():
+            assert values == sorted(values)
+        text = report.describe()
+        assert "latency by complexity class:" in text
+        for cls in expected:
+            assert f"{cls} (n=" in text
+
+    def test_class_buckets_empty_without_classes(self, service, small_bundle):
+        report = replay(service, [small_bundle.workload[0].query], k=4)
+        assert report.class_latencies == {}
+        assert "latency by complexity class" not in report.describe()
+
 
 class TestConsoleEntrypoint:
     def test_main_smoke(self, capsys):
@@ -164,6 +203,29 @@ class TestConsoleEntrypoint:
         out = capsys.readouterr().out
         assert "assembly share" in out
         assert "search vs assembly per query" in out
+
+    def test_main_search_kernel_vectorized_requires_compact(self):
+        with pytest.raises(SystemExit):
+            workload_main(
+                [
+                    "--preset", "dbpedia", "--scale", "1.0",
+                    "--search-kernel", "vectorized",
+                ]
+            )
+
+    def test_main_compact_vectorized_search(self, capsys):
+        code = workload_main(
+            [
+                "--preset", "dbpedia", "--scale", "1.0", "--seed", "11",
+                "--repeats", "1", "--k", "4", "--workers", "2",
+                "--view", "compact", "--search-kernel", "vectorized",
+                "--breakdown",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency by complexity class:" in out
+        assert "search totals:" in out
 
     def test_main_reference_assembly_kernel(self, capsys):
         code = workload_main(
