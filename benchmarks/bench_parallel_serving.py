@@ -1,0 +1,118 @@
+"""Parallel serving — multiprocess backend vs the GIL-bound thread pool.
+
+Not a figure from the paper: the paper evaluates queries one at a time,
+while this bench measures the execution-backend seam the reproduction
+adds (`repro.serve.backends`).  Claims verified:
+
+1. **Cross-backend identity** — the inline, thread and process backends
+   return exactly the same SGQ results (matches, bit-equal scores,
+   components, TA bookkeeping, per-sub-query decision counters) on every
+   pass of a repeated workload; pool size, pickling and per-worker
+   caches change cost, never results.
+2. **Multi-core speedup** — on a CPU-bound unpaced replay with 4
+   workers, the process backend clears >= 2x the thread backend's
+   throughput.  The thread pool serialises CPU-bound searches under the
+   GIL, so its 4 workers deliver ~1 core of compute; 4 process workers
+   deliver ~4.  The assertion is gated on the hardware actually having
+   the cores (``os.cpu_count() >= 4``): on smaller boxes (CI runners,
+   1-2 core containers) there is no parallelism to express, the ratio is
+   measured and recorded as informational, and only claim 1 gates —
+   the same policy every kernel bench in this repo follows for timing.
+
+Emits ``benchmarks/results/BENCH_parallel_serving.json`` for CI and the
+README's performance numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.parallelbench import compare_backends
+from repro.bench.reporting import emit, emit_json, format_table
+
+from conftest import BENCH_SCALE  # noqa: F401 (fixture module import idiom)
+
+K = 10
+WORKERS = 4
+PASSES = 3
+REPEATS = 2
+MIN_SPEEDUP = 2.0
+MIN_CORES = 4
+
+
+def test_parallel_serving_equivalence_and_speedup(dbpedia_bundle, benchmark):
+    comparison = compare_backends(
+        dbpedia_bundle,
+        k=K,
+        workers=WORKERS,
+        passes=PASSES,
+        repeats=REPEATS,
+    )
+    path = emit_json("BENCH_parallel_serving", comparison.to_json())
+
+    rows = [
+        (
+            name,
+            f"{comparison.seconds[name] * 1000:.1f}",
+            f"{comparison.qps(name):.1f}",
+            " ".join(
+                f"{seconds * 1000:.0f}"
+                for seconds in comparison.pass_seconds[name]
+            ),
+        )
+        for name in ("inline", "thread", "process")
+    ]
+    rows.append(
+        (
+            "process/thread",
+            f"{comparison.process_speedup_vs_thread:.2f}x",
+            "",
+            f"{comparison.cpu_count} cores, "
+            f"{comparison.start_method} start",
+        )
+    )
+    emit(
+        "parallel_serving",
+        format_table(
+            ("backend", "best pass (ms)", "qps", "passes (ms)"),
+            rows,
+            title=(
+                f"Parallel serving — {comparison.num_queries} queries, "
+                f"k={K}, {WORKERS} workers (report: {path})"
+            ),
+        ),
+    )
+
+    # Claim 1: bit-identical results on every backend, every pass.
+    assert comparison.equivalent, comparison.mismatches[:10]
+
+    # Claim 2: multi-core throughput, asserted only where cores exist.
+    if (os.cpu_count() or 1) >= MIN_CORES:
+        assert comparison.process_speedup_vs_thread >= MIN_SPEEDUP, (
+            f"process backend speedup {comparison.process_speedup_vs_thread:.2f}x "
+            f"over thread backend is below the {MIN_SPEEDUP:.0f}x target "
+            f"on a {os.cpu_count()}-core machine"
+        )
+    else:
+        print(
+            f"(informational) process/thread speedup "
+            f"{comparison.process_speedup_vs_thread:.2f}x on "
+            f"{os.cpu_count()} core(s) — below {MIN_CORES} cores, "
+            "timing assertion skipped"
+        )
+
+    # Steady-state batch replay on the thread backend (cheap to measure
+    # under pytest-benchmark; the process pool is exercised above).
+    from repro.serve.service import QueryService
+
+    queries = [q.query for q in dbpedia_bundle.workload]
+    with QueryService.build(
+        dbpedia_bundle.kg,
+        dbpedia_bundle.space,
+        dbpedia_bundle.library,
+        backend="thread",
+        workers=WORKERS,
+        compact=True,
+    ) as service:
+        service.search_many(queries, k=K)  # warm
+        benchmark(lambda: service.search_many(queries[:2], k=K))

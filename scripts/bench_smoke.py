@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""CI smoke gate for the compact CSR, TA assembly and A* search kernels.
+"""CI smoke gate for the kernels and the execution-backend seam.
 
-Runs three result-equivalence gates on small fixed workloads and exits
+Runs four result-equivalence gates on small fixed workloads and exits
 non-zero **only** on a mismatch — the one property CI can judge on shared
 runners.  Timing numbers are recorded in the artifacts but never gate the
 build (CI machines are too noisy for that; the full-scale benches in
@@ -15,7 +15,12 @@ build (CI machines are too noisy for that; the full-scale benches in
 3. reference vs array-backed A* search (``repro.bench.searchbench``:
    every workload query drained under both visited policies, plus one
    end-to-end engine query) →
-   ``benchmarks/results/BENCH_astar_kernel.json``.
+   ``benchmarks/results/BENCH_astar_kernel.json``;
+4. inline vs thread vs process serving backends
+   (``repro.bench.parallelbench``: the workload replayed twice per
+   backend on a 2-worker pool, process workers bootstrapped from the
+   pickled EngineSpec) →
+   ``benchmarks/results/BENCH_parallel_serving.json``.
 
 Usage::
 
@@ -42,6 +47,7 @@ from repro.bench.assemblybench import (  # noqa: E402
 )
 from repro.bench.compactbench import compare_kernels  # noqa: E402
 from repro.bench.datasets import load_bundle  # noqa: E402
+from repro.bench.parallelbench import compare_backends  # noqa: E402
 from repro.bench.reporting import emit_json  # noqa: E402
 from repro.bench.searchbench import (  # noqa: E402
     compare_search_kernels,
@@ -141,6 +147,32 @@ def main(argv=None) -> int:
         print("DECISION MISMATCH between vectorized and reference "
               "search kernels:", file=sys.stderr)
         for problem in search.mismatches[:10]:
+            print(f"  {problem}", file=sys.stderr)
+
+    # -- gate 4: inline vs thread vs process serving backends -------------
+    backends = compare_backends(
+        bundle, k=args.k, workers=2, passes=args.passes
+    )
+    path = emit_json("BENCH_parallel_serving", backends.to_json())
+    print(
+        f"backends: inline {backends.seconds['inline'] * 1000:.1f} ms, "
+        f"thread {backends.seconds['thread'] * 1000:.1f} ms, "
+        f"process {backends.seconds['process'] * 1000:.1f} ms per pass "
+        f"(process/thread {backends.process_speedup_vs_thread:.2f}x, "
+        f"informational on {backends.cpu_count} core(s); "
+        f"warmup {backends.process_warmup_seconds * 1000:.0f} ms, "
+        f"{backends.process_workers_warmed} workers)"
+    )
+    print(f"report: {path}")
+    if backends.equivalent:
+        print(
+            f"backend equivalence OK on all {backends.num_queries} queries "
+            f"x {backends.passes} passes x (inline, thread, process)"
+        )
+    else:
+        failed = True
+        print("RESULT MISMATCH between serving backends:", file=sys.stderr)
+        for problem in backends.mismatches[:10]:
             print(f"  {problem}", file=sys.stderr)
 
     return 1 if failed else 0

@@ -384,16 +384,30 @@ class CompactViewFactory:
         self._graph = graph
         self._freeze_lock = threading.Lock()
 
+    @property
+    def frozen_graph(self) -> Optional[CompactGraph]:
+        """The kernel currently held (``None`` before first use)."""
+        return self._graph
+
     def compact_graph(self, kg: KnowledgeGraph) -> CompactGraph:
         """The (re)frozen kernel for ``kg``.
 
         Locked: concurrent QueryService workers warming up would
         otherwise each run the O(V+E) freeze before racing the
-        assignment.
+        assignment.  A held kernel whose source graph is gone (an
+        unpickled snapshot shipped to a worker process, ``kg is None``)
+        is kept as long as its entity/edge counts still match ``kg`` —
+        that is the complete staleness check for the append-only store,
+        and re-freezing would throw away exactly the work shipping the
+        snapshot saved.
         """
         with self._freeze_lock:
             graph = self._graph
-            if graph is None or graph.kg is not kg or graph.is_stale(kg):
+            if (
+                graph is None
+                or graph.is_stale(kg)
+                or (graph.kg is not None and graph.kg is not kg)
+            ):
                 graph = CompactGraph.freeze(kg)
                 self._graph = graph
             return graph

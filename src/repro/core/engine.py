@@ -17,7 +17,9 @@ without guessing how many matches each sub-query must contribute.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.assembly import ASSEMBLY_KERNELS, MatchStream, assemble_top_k
@@ -59,6 +61,102 @@ class _PullTimer:
                 self.seconds += time.perf_counter() - started
 
         return timed
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A frozen, picklable description of one engine configuration.
+
+    The construction half of the engine split: everything
+    :func:`build_engine` needs to bootstrap a
+    :class:`SemanticGraphQueryEngine` in another process — the graph, the
+    predicate space, the transformation library, the search config, and
+    the kernel/view flags — with **no** live runtime state (no weight
+    cache, no worker pool, no view factory closures).  A
+    ``ProcessPoolExecutor`` worker unpickles one spec in its initializer,
+    builds its engine once, and serves every subsequent request from it.
+
+    ``compact_graph`` optionally carries the pre-frozen CSR kernel so a
+    worker does not redo the O(V+E) freeze; on unpickle the snapshot's
+    source-graph reference is dropped (``CompactGraph.__setstate__``) and
+    the view factory keeps it as long as its counts still match ``kg``.
+
+    Everything here must stay picklable: ``KnowledgeGraph`` is plain
+    dataclasses and dicts, ``PredicateSpace`` drops its lock on pickle,
+    ``CompactGraph`` ships only its numeric tables.
+    """
+
+    kg: KnowledgeGraph
+    space: PredicateSpace
+    library: Optional[TransformationLibrary] = None
+    config: Optional[SearchConfig] = None
+    compact: bool = False
+    assembly_kernel: str = "vectorized"
+    search_kernel: str = "auto"
+    compact_graph: Optional[CompactGraph] = None
+
+    def __post_init__(self) -> None:
+        if self.assembly_kernel not in ASSEMBLY_KERNELS:
+            raise SearchError(
+                f"unknown assembly kernel {self.assembly_kernel!r} "
+                f"(expected one of {ASSEMBLY_KERNELS})"
+            )
+        if self.search_kernel not in SEARCH_KERNELS:
+            raise SearchError(
+                f"unknown search kernel {self.search_kernel!r} "
+                f"(expected one of {SEARCH_KERNELS})"
+            )
+        if self.compact_graph is not None and not self.compact:
+            raise SearchError("compact_graph requires compact=True")
+        if self.search_kernel == "vectorized" and not self.compact:
+            raise SearchError(
+                "search_kernel='vectorized' needs compact views; set "
+                "compact=True on the spec"
+            )
+
+    def build(self, *, weight_cache: Optional[WeightCache] = None
+              ) -> "SemanticGraphQueryEngine":
+        """Alias of :func:`build_engine` for fluent call sites."""
+        return build_engine(self, weight_cache=weight_cache)
+
+
+def build_engine(
+    spec: EngineSpec, *, weight_cache: Optional[WeightCache] = None
+) -> "SemanticGraphQueryEngine":
+    """Materialise the engine an :class:`EngineSpec` describes.
+
+    ``weight_cache`` is deliberately *not* part of the spec — it is
+    per-process runtime state; a multiprocess worker passes its own
+    private cache here.  When the spec carries a pre-frozen
+    ``compact_graph`` the engine is wired through a
+    :class:`~repro.core.compact_view.CompactViewFactory` holding that
+    snapshot instead of re-freezing.
+    """
+    if spec.compact and spec.compact_graph is not None:
+        engine = SemanticGraphQueryEngine(
+            spec.kg,
+            spec.space,
+            spec.library,
+            spec.config,
+            weight_cache=weight_cache,
+            view_factory=CompactViewFactory(spec.compact_graph),
+            assembly_kernel=spec.assembly_kernel,
+            search_kernel=spec.search_kernel,
+        )
+        engine._compact = True
+    else:
+        engine = SemanticGraphQueryEngine(
+            spec.kg,
+            spec.space,
+            spec.library,
+            spec.config,
+            weight_cache=weight_cache,
+            compact=spec.compact,
+            assembly_kernel=spec.assembly_kernel,
+            search_kernel=spec.search_kernel,
+        )
+    engine._spec = spec
+    return engine
 
 
 class SemanticGraphQueryEngine:
@@ -139,9 +237,13 @@ class SemanticGraphQueryEngine:
         self.search_kernel = search_kernel
         self.kg = kg
         self.space = space
+        self.library = library
         self.config = config if config is not None else SearchConfig()
         self.matcher = NodeMatcher(kg, library)
         self.weight_cache = weight_cache
+        self._compact = compact
+        self._custom_view_factory = view_factory is not None
+        self._spec: Optional[EngineSpec] = None
         if compact:
             # Freeze eagerly: construction is the predictable place to
             # pay the O(V+E) snapshot, not the first query's latency.
@@ -150,6 +252,53 @@ class SemanticGraphQueryEngine:
             )
         else:
             self.view_factory = view_factory or lazy_view_factory
+
+    def to_spec(self) -> EngineSpec:
+        """The :class:`EngineSpec` this engine could be rebuilt from.
+
+        Engines built by :func:`build_engine` return their originating
+        spec; directly constructed engines derive one (including the
+        already-frozen compact kernel, so workers skip the re-freeze).
+        An engine wired through a *custom* ``view_factory`` has no
+        picklable description and raises.
+        """
+        if self._spec is not None:
+            spec = self._spec
+            if (
+                spec.compact
+                and spec.compact_graph is None
+                and isinstance(self.view_factory, CompactViewFactory)
+                and self.view_factory.frozen_graph is not None
+            ):
+                # The originating spec predates the freeze; graft the
+                # kernel on so shipped workers skip redoing it.
+                spec = dataclasses.replace(
+                    spec, compact_graph=self.view_factory.frozen_graph
+                )
+                self._spec = spec
+            return spec
+        if self._custom_view_factory:
+            raise SearchError(
+                "an engine built on a custom view_factory cannot be "
+                "described by an EngineSpec (the factory may close over "
+                "unpicklable state); construct via EngineSpec/build_engine "
+                "or use compact=True instead"
+            )
+        compact_graph = None
+        if self._compact and isinstance(self.view_factory, CompactViewFactory):
+            compact_graph = self.view_factory.frozen_graph
+        spec = EngineSpec(
+            kg=self.kg,
+            space=self.space,
+            library=self.library,
+            config=self.config,
+            compact=self._compact,
+            assembly_kernel=self.assembly_kernel,
+            search_kernel=self.search_kernel,
+            compact_graph=compact_graph,
+        )
+        self._spec = spec
+        return spec
 
     def _make_view(self) -> WeightedGraphView:
         """A per-query ``SG_Q`` view, shared-cache-backed when configured."""

@@ -189,3 +189,83 @@ class QueryResult:
         for stats in self.subquery_stats:
             total = total.merge(stats)
         return total
+
+
+@dataclass(frozen=True)
+class QueryResultPayload:
+    """A detached, picklable snapshot of one :class:`QueryResult`.
+
+    The request/response boundary of the multiprocess serving backend:
+    a worker process cannot hand back anything referencing its live
+    engine (views, caches, searches), so it flattens the result into
+    this payload — the final matches (``FinalMatch``/``PathMatch``/
+    ``Path`` are pure value objects sharing nothing with the engine),
+    the per-sub-query :class:`SearchStats`, the TA bookkeeping, and
+    every derived counter *materialised* as a plain field so consumers
+    on the other side of the pickle need no recomputation contract.
+
+    :meth:`from_result` / :meth:`to_result` are inverses for everything
+    a conformance check compares: matches, scores, components, stats
+    and counters round-trip bit-identically.
+    """
+
+    matches: Tuple[FinalMatch, ...]
+    elapsed_seconds: float
+    approximate: bool
+    subquery_stats: Tuple[SearchStats, ...]
+    ta_accesses: int
+    ta_rounds: int
+    ta_truncated: bool
+    assembly_seconds: float
+    time_bound: Optional[float]
+    # Derived counters, frozen at capture time (QueryResult recomputes
+    # them from subquery_stats; the payload states them outright).
+    search_seconds: float
+    expansions: int
+    pruned_by_tau: int
+    pruned_by_visited: int
+    stale_pops: int
+    max_queue_size: int
+
+    @classmethod
+    def from_result(cls, result: QueryResult) -> "QueryResultPayload":
+        return cls(
+            matches=tuple(result.matches),
+            elapsed_seconds=result.elapsed_seconds,
+            approximate=result.approximate,
+            subquery_stats=tuple(result.subquery_stats),
+            ta_accesses=result.ta_accesses,
+            ta_rounds=result.ta_rounds,
+            ta_truncated=result.ta_truncated,
+            assembly_seconds=result.assembly_seconds,
+            time_bound=result.time_bound,
+            search_seconds=result.search_seconds,
+            expansions=result.expansions,
+            pruned_by_tau=result.pruned_by_tau,
+            pruned_by_visited=result.pruned_by_visited,
+            stale_pops=result.stale_pops,
+            max_queue_size=result.max_queue_size,
+        )
+
+    def to_result(self) -> QueryResult:
+        """Reinflate a :class:`QueryResult` (the serving layer's unit).
+
+        The derived counters of the returned result are recomputed from
+        ``subquery_stats`` — they agree with the frozen fields because
+        both came from the same stats.
+        """
+        return QueryResult(
+            matches=list(self.matches),
+            elapsed_seconds=self.elapsed_seconds,
+            approximate=self.approximate,
+            subquery_stats=list(self.subquery_stats),
+            ta_accesses=self.ta_accesses,
+            ta_rounds=self.ta_rounds,
+            ta_truncated=self.ta_truncated,
+            assembly_seconds=self.assembly_seconds,
+            time_bound=self.time_bound,
+        )
+
+    def answer_uids(self) -> List[int]:
+        """The answer entities (pivot matches), best first."""
+        return [match.pivot_uid for match in self.matches]

@@ -7,29 +7,56 @@ state across a workload:
 - :class:`~repro.serve.cache.SemanticGraphCache` — thread-safe,
   LRU-bounded cross-query store of edge weights and ``m(u)`` adjacency
   bounds, with hit/miss statistics;
-- :class:`~repro.serve.service.QueryService` — worker-pool front-end with
+- :class:`~repro.serve.service.QueryService` — pool front-end with
   ``submit`` / ``submit_batch`` / ``search_many``, decomposition
-  memoization and per-query deadlines (mapped onto the TBQ coordinator);
-- :mod:`repro.serve.workload` — open-loop replay driver reporting
-  throughput and latency percentiles (also the ``repro-serve-workload``
-  console script).
+  memoization and per-query deadlines (mapped onto the TBQ coordinator),
+  running on a pluggable execution backend;
+- :mod:`repro.serve.backends` — the execution-backend seam: ``inline``
+  (caller's thread), ``thread`` (GIL-bound pool, shared caches) and
+  ``process`` (true multi-core parallelism; workers bootstrap private
+  engines from a pickled :class:`~repro.core.engine.EngineSpec`);
+- :mod:`repro.serve.workload` — open-loop replay driver (uniform or
+  Poisson arrivals, mixed SGQ/TBQ) reporting throughput and latency
+  percentiles (also the ``repro-serve-workload`` console script).
 
-Later scaling work (sharded graph stores, async front-ends, multi-backend
-views) plugs in behind these seams; see ``docs/architecture.md``.
+Later scaling work (sharded graph stores, async front-ends) plugs in
+behind these seams; see ``docs/architecture.md``.
 """
 
+from repro.serve.backends import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    WorkerSnapshot,
+)
 from repro.serve.cache import CacheStats, SemanticGraphCache
-from repro.serve.service import QueryRequest, QueryService, ServiceStats, query_shape_key
-from repro.serve.workload import ReplayReport, WorkloadItem, replay
+from repro.serve.service import (
+    QueryRequest,
+    QueryService,
+    ServiceStats,
+    ServingStatsReport,
+    query_shape_key,
+)
+from repro.serve.workload import ReplayReport, WorkloadItem, mix_deadlines, replay
 
 __all__ = [
     "CacheStats",
     "SemanticGraphCache",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "WorkerSnapshot",
     "QueryRequest",
     "QueryService",
     "ServiceStats",
+    "ServingStatsReport",
     "query_shape_key",
     "ReplayReport",
     "WorkloadItem",
+    "mix_deadlines",
     "replay",
 ]

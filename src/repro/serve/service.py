@@ -4,18 +4,20 @@ The engine answers one query at a time; a production deployment sees a
 *workload* — many queries, often repeated, often with per-query latency
 budgets.  :class:`QueryService` is the serving seam between the two:
 
-- a **worker pool** executes SGQ/TBQ searches concurrently — safe
-  because every query owns its view and search state, while the shared
-  structures are either lock-protected (the weight cache, the memo) or
-  lazily-built memo dicts whose writes are idempotent pure-function
-  results, which CPython's GIL publishes atomically (a free-threaded
-  backend must add locking to ``NodeMatcher`` first — see ROADMAP);
+- a pluggable **execution backend** (:mod:`repro.serve.backends`) runs
+  the searches: ``inline`` (caller's thread — the reference), ``thread``
+  (request-level concurrency, shared caches, GIL-bound compute) or
+  ``process`` (true multi-core parallelism; each worker bootstraps a
+  private engine once from a pickled
+  :class:`~repro.core.engine.EngineSpec` and reuses it across requests);
 - a shared :class:`~repro.serve.cache.SemanticGraphCache` backs every
-  query's semantic-graph view, so the workload amortises edge weighting
-  and ``m(u)`` derivation across queries;
+  query's semantic-graph view on the shared-memory backends, so the
+  workload amortises edge weighting and ``m(u)`` derivation across
+  queries; process workers each own a private cache with the same role;
 - **decomposition memoization**: repeated query shapes (same nodes, edges,
   pivot policy) reuse the minCost decomposition instead of re-running the
-  Eq. 1 cost model;
+  Eq. 1 cost model — per service on shared-memory backends, per worker on
+  the process backend;
 - **per-query deadlines** map onto the existing
   :class:`~repro.core.time_bounded.TimeBoundedCoordinator` — a request
   with ``deadline=T`` runs the paper's TBQ (Algorithms 2-3) with the time
@@ -24,30 +26,54 @@ budgets.  :class:`QueryService` is the serving seam between the two:
   deadline get exact SGQ semantics.
 
 ``submit`` returns a future; ``submit_batch`` and ``search_many`` are the
-batch conveniences.  Results are bit-identical to calling
-``engine.search`` sequentially: the cache stores pure functions of the
-graph/space, the memoized decompositions are deterministic, and worker
-scheduling never reorders per-query state.
+batch conveniences.  Exact (SGQ) results are bit-identical to calling
+``engine.search`` sequentially on **every** backend: caches store pure
+functions of the graph/space, memoized decompositions are deterministic,
+worker scheduling never reorders per-query state, and a process worker's
+engine is built from a pickle-faithful copy of the same graph, space and
+library.  The cross-backend conformance suite
+(``tests/test_serve_backends.py``) and CI gate 4
+(``scripts/bench_smoke.py``) pin this.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SearchConfig
-from repro.core.engine import SemanticGraphQueryEngine
+from repro.core.engine import EngineSpec, SemanticGraphQueryEngine, build_engine
 from repro.core.results import QueryResult
-from repro.embedding.predicate_space import PredicateSpace
+from repro.embedding.predicate_space import PredicateSpace, SpaceCacheStats
 from repro.errors import ServeError
 from repro.kg.graph import KnowledgeGraph
-from repro.query.decompose import Decomposition
 from repro.query.model import QueryGraph
 from repro.query.transform import TransformationLibrary
-from repro.serve.cache import LruMap, SemanticGraphCache
+from repro.serve.backends import (
+    EXECUTION_BACKENDS,
+    MIN_TIME_BOUND,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    WorkerSnapshot,
+    _EngineRunner,
+    aggregate_snapshots,
+    diff_snapshots,
+)
+from repro.serve.cache import CacheStats, SemanticGraphCache
+
+__all__ = [
+    "QueryRequest",
+    "QueryService",
+    "ServiceStats",
+    "ServingStatsReport",
+    "MIN_TIME_BOUND",
+    "query_shape_key",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +83,9 @@ class QueryRequest:
     ``deadline`` (seconds) switches the request to the time-bounded TBQ
     path; ``None`` means exact SGQ.  ``pivot``/``strategy`` pass through to
     decomposition; ``tag`` is an opaque caller label echoed in errors.
+
+    Requests are picklable (the query graph is plain value objects), so
+    one request value serves every execution backend unchanged.
     """
 
     query: QueryGraph
@@ -67,33 +96,76 @@ class QueryRequest:
     tag: Optional[str] = None
 
 
-# A deadline that has already elapsed in the queue still gets a sliver of
-# search budget: the TBQ coordinator needs a positive bound, and a
-# harvest-what-you-can answer beats an error for an overloaded service.
-MIN_TIME_BOUND = 1e-3
-
-
 @dataclass
 class ServiceStats:
     """Serving counters (monotonic over the service's lifetime).
 
-    Writers mutate the live object under the service lock; reading the
-    attributes directly is unsynchronised (fine for quiescent services
-    and monotonic counters, but ``in_flight`` combines three of them) —
-    monitoring code should use :meth:`QueryService.stats_snapshot`.
+    Writers mutate the live object under the service's stats lock;
+    reading the attributes directly is unsynchronised (fine for quiescent
+    services and monotonic counters, but ``in_flight`` combines three of
+    them) — monitoring code should use :meth:`QueryService.stats_snapshot`.
 
-    Decomposition-memo hit counts live on the memo itself — see
-    :attr:`QueryService.memo_hits` / :attr:`QueryService.memo_hit_rate`.
+    ``backend`` names the execution backend serving the counters, so a
+    report can say which stats-aggregation semantics apply (shared
+    structures vs summed per-worker copies — see
+    :meth:`QueryService.serving_stats`).
     """
 
     submitted: int = 0
     completed: int = 0
     failed: int = 0
     time_bounded: int = 0
+    backend: str = "thread"
 
     @property
     def in_flight(self) -> int:
         return self.submitted - self.completed - self.failed
+
+
+@dataclass(frozen=True)
+class ServingStatsReport:
+    """Cache/memo statistics with their aggregation scope spelled out.
+
+    ``scope`` is ``"shared"`` when the numbers read live shared
+    structures (inline/thread backends: one weight cache, one space, one
+    memo) and ``"per-worker-sum"`` when they are summed over per-worker
+    copies (process backend) — a distinction reports must label, because
+    a summed hit rate describes pool-wide behaviour, not any single
+    cache, and misses repeated once per worker are expected there.
+    """
+
+    backend: str
+    scope: str
+    workers_reporting: int
+    queries: int
+    cache: CacheStats
+    space: SpaceCacheStats
+    memo_hits: int
+    memo_misses: int
+
+    @property
+    def memo_hit_rate(self) -> float:
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
+
+    def scope_label(self) -> str:
+        if self.scope == "per-worker-sum":
+            return (
+                f"per-worker sum, {self.workers_reporting} worker"
+                f"{'s' if self.workers_reporting != 1 else ''} reporting"
+            )
+        return "shared"
+
+    def describe(self) -> str:
+        lines = [
+            f"stats scope [{self.backend} backend]: {self.scope_label()}",
+            f"weight cache ({self.scope_label()}): {self.cache.describe()}",
+            f"space {self.space.describe()}",
+            f"decomposition memo: hits={self.memo_hits} "
+            f"misses={self.memo_misses} "
+            f"hit_rate={self.memo_hit_rate:.3f}",
+        ]
+        return "\n".join(lines)
 
 
 def query_shape_key(
@@ -123,50 +195,111 @@ class QueryService:
     """Concurrent, cache-backed front-end over one query engine.
 
     Args:
-        engine: the engine to serve.  The service attaches its shared
-            weight cache to it (``engine.weight_cache``); an engine that
-            already carries a cache keeps it.
-        max_workers: worker-pool size.  CPython's GIL means CPU-bound
-            searches do not parallelise, but the pool still provides
-            request-level concurrency (deadline isolation, interleaved
-            batches) and is the seam a free-threaded or multi-process
-            backend plugs into.
+        engine: the engine to serve (shared-memory backends execute on it
+            directly; the process backend ships ``engine.to_spec()`` to
+            its workers).  May be ``None`` when ``spec`` is given — the
+            process backend then never builds a parent-side engine at
+            all.
+        spec: a picklable :class:`~repro.core.engine.EngineSpec`
+            describing the engine; required (directly or via ``engine``)
+            for the process backend.
+        backend: ``"inline"``, ``"thread"`` (default) or ``"process"``.
+        max_workers: worker-pool size for the pooled backends (ignored by
+            ``inline``).  ``workers`` is an alias that wins when given.
         cache: explicit :class:`SemanticGraphCache` to share (e.g. between
             services over the same graph); default builds a private one.
+            Shared-memory backends only — process workers own private
+            caches by construction.
         memoize_decompositions: reuse decompositions across identical
             query shapes.
         max_memoized: LRU bound on the decomposition memo.
+        start_method: multiprocessing start method for the process
+            backend (``None`` = platform default).
 
     Use as a context manager or call :meth:`close` to release the pool.
     """
 
     def __init__(
         self,
-        engine: SemanticGraphQueryEngine,
+        engine: Optional[SemanticGraphQueryEngine] = None,
         *,
+        spec: Optional[EngineSpec] = None,
+        backend: str = "thread",
         max_workers: int = 4,
+        workers: Optional[int] = None,
         cache: Optional[SemanticGraphCache] = None,
         memoize_decompositions: bool = True,
         max_memoized: int = 1024,
+        start_method: Optional[str] = None,
     ):
+        if backend not in EXECUTION_BACKENDS:
+            raise ServeError(
+                f"unknown execution backend {backend!r} "
+                f"(expected one of {EXECUTION_BACKENDS})"
+            )
+        if workers is not None:
+            max_workers = workers
         if max_workers < 1:
             raise ServeError(f"max_workers must be at least 1, got {max_workers}")
         if max_memoized < 1:
             raise ServeError(f"max_memoized must be at least 1, got {max_memoized}")
+        if engine is None and spec is None:
+            raise ServeError("QueryService needs an engine or an EngineSpec")
+
+        self.backend_name = backend
+        self.workers = max_workers if backend != "inline" else 1
+        self.stats = ServiceStats(backend=backend)
+        self._stats_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._stats_baseline: Optional[WorkerSnapshot] = None
+
+        if backend == "process":
+            if cache is not None:
+                raise ServeError(
+                    "the process backend cannot share a SemanticGraphCache "
+                    "across workers — each worker owns a private cache; "
+                    "drop the cache argument"
+                )
+            if spec is None:
+                assert engine is not None
+                spec = engine.to_spec()  # raises on unpicklable setups
+            self.engine = engine
+            self.cache = None
+            self.spec: Optional[EngineSpec] = spec
+            self._backend: ExecutionBackend = ProcessBackend(
+                spec,
+                self.workers,
+                memoize_decompositions=memoize_decompositions,
+                max_memoized=max_memoized,
+                start_method=start_method,
+                on_complete=self._record_outcome,
+            )
+            return
+
+        if engine is None:
+            assert spec is not None
+            engine = build_engine(spec)
         if cache is not None:
             engine.weight_cache = cache
         elif engine.weight_cache is None:
             engine.weight_cache = SemanticGraphCache()
         self.engine = engine
         self.cache = engine.weight_cache
-        self.stats = ServiceStats()
-        self._memoize = memoize_decompositions
-        self._memo = LruMap(max_memoized)
-        self._lock = threading.Lock()
-        self._closed = False
-        self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-serve"
+        self.spec = spec
+        runner = _EngineRunner(
+            engine,
+            memoize_decompositions=memoize_decompositions,
+            max_memoized=max_memoized,
+            shape_key=query_shape_key,
         )
+        self._runner = runner
+        if backend == "inline":
+            self._backend = InlineBackend(runner, on_complete=self._record_outcome)
+        else:
+            self._backend = ThreadBackend(
+                runner, self.workers, on_complete=self._record_outcome
+            )
 
     # ------------------------------------------------------------------
     # construction conveniences
@@ -183,27 +316,56 @@ class QueryService:
         view_factory=None,
         assembly_kernel: str = "vectorized",
         search_kernel: str = "auto",
+        backend: str = "thread",
+        workers: Optional[int] = None,
         **kwargs,
     ) -> "QueryService":
-        """Build an engine and wrap it in one call.
+        """Build an engine (or spec) and wrap it in one call.
 
         ``compact=True`` serves every query off the frozen CSR kernel
         (:mod:`repro.core.compact_view`); ``view_factory`` passes a custom
-        view seam through; ``assembly_kernel`` picks the TA assembly
-        implementation and ``search_kernel`` the per-sub-query A*
-        implementation.  Results are identical under every combination.
+        view seam through (shared-memory backends only — it may not
+        pickle); ``assembly_kernel`` picks the TA assembly implementation
+        and ``search_kernel`` the per-sub-query A* implementation;
+        ``backend``/``workers`` pick the execution backend and pool size.
+        Exact results are identical under every combination.
         """
-        engine = SemanticGraphQueryEngine(
-            kg,
-            space,
-            library,
-            config,
+        if view_factory is not None:
+            if backend == "process":
+                raise ServeError(
+                    "the process backend cannot ship a custom view_factory "
+                    "to its workers; use compact=True or a shared-memory "
+                    "backend"
+                )
+            engine = SemanticGraphQueryEngine(
+                kg,
+                space,
+                library,
+                config,
+                compact=compact,
+                view_factory=view_factory,
+                assembly_kernel=assembly_kernel,
+                search_kernel=search_kernel,
+            )
+            return cls(engine, backend=backend, workers=workers, **kwargs)
+        spec = EngineSpec(
+            kg=kg,
+            space=space,
+            library=library,
+            config=config,
             compact=compact,
-            view_factory=view_factory,
             assembly_kernel=assembly_kernel,
             search_kernel=search_kernel,
         )
-        return cls(engine, **kwargs)
+        if backend == "process":
+            if compact:
+                # Freeze once in the parent and ship the snapshot, so N
+                # workers do not each redo the O(V+E) freeze.
+                from repro.kg.compact import CompactGraph
+
+                spec = replace(spec, compact_graph=CompactGraph.freeze(kg))
+            return cls(spec=spec, backend=backend, workers=workers, **kwargs)
+        return cls(build_engine(spec), backend=backend, workers=workers, **kwargs)
 
     # ------------------------------------------------------------------
     # submission API
@@ -231,17 +393,36 @@ class QueryService:
         )
 
     def submit_request(self, request: QueryRequest) -> "Future[QueryResult]":
-        # The executor submit happens under the same lock close() takes
-        # before shutting the pool down, so a closed-check that passes
-        # can never race into a shut-down executor.
+        # The backend submit happens under the same lock close() takes
+        # before shutting the backend down, so a closed-check that passes
+        # can never race into a shut-down pool.
         with self._lock:
             if self._closed:
                 raise ServeError("QueryService is closed")
-            future = self._executor.submit(self._execute, request, time.perf_counter())
-            self.stats.submitted += 1
-            if request.deadline is not None:
-                self.stats.time_bounded += 1
-        return future
+            # Count before executing: the inline backend completes the
+            # request inside submit, and `submitted` must already cover it
+            # when its completion is recorded.
+            with self._stats_lock:
+                self.stats.submitted += 1
+                if request.deadline is not None:
+                    self.stats.time_bounded += 1
+            try:
+                return self._backend.submit(request, time.time())
+            except BaseException:
+                # The request never entered the pool (e.g. a broken
+                # process pool): no on_complete will ever fire, so settle
+                # the accounting here or in_flight drifts forever.
+                self._record_outcome(False)
+                raise
+
+    def _record_outcome(self, success: bool) -> None:
+        # Runs on the execution path, strictly before the request's
+        # future resolves (see ExecutionBackend.on_complete).
+        with self._stats_lock:
+            if success:
+                self.stats.completed += 1
+            else:
+                self.stats.failed += 1
 
     def submit_batch(
         self, requests: Sequence[Union[QueryRequest, QueryGraph]]
@@ -278,80 +459,98 @@ class QueryService:
         return QueryRequest(query=item, k=k, deadline=deadline)
 
     # ------------------------------------------------------------------
-    # execution
-    # ------------------------------------------------------------------
-    def _decomposition_for(self, request: QueryRequest) -> Optional[Decomposition]:
-        if not self._memoize:
-            return None
-        key = query_shape_key(request.query, request.pivot, request.strategy)
-        with self._lock:
-            memoized = self._memo.get(key)  # LruMap counts the hit/miss
-            if memoized is not None:
-                return memoized
-        decomposition = self.engine.decompose(
-            request.query, pivot=request.pivot, strategy=request.strategy
-        )
-        with self._lock:
-            self._memo.put(key, decomposition)
-        return decomposition
-
-    def _execute(self, request: QueryRequest, submitted_at: float) -> QueryResult:
-        try:
-            decomposition = self._decomposition_for(request)
-            if request.deadline is not None:
-                # A deadline is a promise about *latency*, not service
-                # time: the wait in the worker queue already spent part of
-                # the budget, so only the remainder goes to the search.
-                queue_wait = time.perf_counter() - submitted_at
-                budget = max(request.deadline - queue_wait, MIN_TIME_BOUND)
-                result = self.engine.search_time_bounded(
-                    request.query,
-                    request.k,
-                    time_bound=budget,
-                    pivot=request.pivot,
-                    strategy=request.strategy,
-                    decomposition=decomposition,
-                )
-            else:
-                result = self.engine.search(
-                    request.query,
-                    request.k,
-                    pivot=request.pivot,
-                    strategy=request.strategy,
-                    decomposition=decomposition,
-                )
-        except BaseException:
-            with self._lock:
-                self.stats.failed += 1
-            raise
-        with self._lock:
-            self.stats.completed += 1
-        return result
-
-    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stats_snapshot(self) -> ServiceStats:
         """A consistent copy of the counters, taken under the lock."""
-        with self._lock:
+        with self._stats_lock:
             return replace(self.stats)
+
+    def warmup(self, timeout: Optional[float] = None) -> int:
+        """Make the first real request pay no construction latency.
+
+        For the process backend this spins up (up to) all workers and
+        builds their engines; shared-memory backends are warm by
+        construction.  Returns the number of workers confirmed ready.
+        """
+        return self._backend.warmup(timeout=timeout)
+
+    def worker_snapshots(self) -> List[WorkerSnapshot]:
+        """Per-worker statistics rows straight from the backend."""
+        return self._backend.snapshots()
+
+    def serving_stats(self) -> ServingStatsReport:
+        """Cache/memo statistics with their aggregation scope labelled.
+
+        Shared-memory backends read the live shared cache, space and
+        memo (scope ``"shared"``); the process backend sums the latest
+        per-worker snapshots (scope ``"per-worker-sum"`` — each worker
+        warms its own caches, so pool-wide misses scale with the worker
+        count by design).  :meth:`reset_serving_stats` rebases the
+        counters so per-phase rates can be reported on any backend.
+        """
+        snapshots = self._backend.snapshots()
+        total = aggregate_snapshots(snapshots)
+        with self._stats_lock:
+            baseline = self._stats_baseline
+        total = diff_snapshots(total, baseline)
+        if total is None:
+            total = WorkerSnapshot(
+                worker_id="none",
+                queries=0,
+                cache=CacheStats(),
+                space=SpaceCacheStats(),
+                memo_hits=0,
+                memo_misses=0,
+            )
+        scope = (
+            "per-worker-sum"
+            if self._backend.stats_scope == "per-worker"
+            else "shared"
+        )
+        return ServingStatsReport(
+            backend=self.backend_name,
+            scope=scope,
+            workers_reporting=len(snapshots),
+            queries=total.queries,
+            cache=total.cache,
+            space=total.space,
+            memo_hits=total.memo_hits,
+            memo_misses=total.memo_misses,
+        )
+
+    def reset_serving_stats(self) -> None:
+        """Zero the cache/memo counters reported by :meth:`serving_stats`.
+
+        Backend-neutral: shared-memory backends could reset the live
+        structures, but process workers cannot be reached synchronously —
+        so *all* backends rebase against a baseline snapshot instead
+        (entries/gauges are never rebased; they describe the present).
+        Lets a workload driver report per-phase hit rates — e.g. reset
+        after a cold pass so the warm pass's rate is not diluted.
+        """
+        total = aggregate_snapshots(self._backend.snapshots())
+        with self._stats_lock:
+            self._stats_baseline = total
 
     @property
     def memo_hits(self) -> int:
-        """Decomposition-memo hits (from the memo's own counters)."""
-        with self._lock:
-            return self._memo.hits
+        """Decomposition-memo hits (summed per worker on ``process``)."""
+        total = aggregate_snapshots(self._backend.snapshots())
+        return total.memo_hits if total is not None else 0
 
     @property
     def memo_misses(self) -> int:
-        with self._lock:
-            return self._memo.misses
+        total = aggregate_snapshots(self._backend.snapshots())
+        return total.memo_misses if total is not None else 0
 
     @property
     def memo_hit_rate(self) -> float:
-        with self._lock:
-            lookups = self._memo.hits + self._memo.misses
-            return self._memo.hits / lookups if lookups else 0.0
+        total = aggregate_snapshots(self._backend.snapshots())
+        if total is None:
+            return 0.0
+        lookups = total.memo_hits + total.memo_misses
+        return total.memo_hits / lookups if lookups else 0.0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -362,11 +561,13 @@ class QueryService:
             if self._closed:
                 return
             self._closed = True
-            # Inside the lock: a submit that already passed its closed
-            # check has finished its executor.submit before we get here.
-            self._executor.shutdown(wait=False)
-        if wait:
-            self._executor.shutdown(wait=True)
+        # Outside the lock (a draining close must not block submitters
+        # into a lock wait; they observe `_closed` and get a clean
+        # ServeError), but strictly after `_closed` is set: any submit
+        # that already passed its closed check finished its
+        # backend.submit while it held the lock, so the backend never
+        # sees a submit after shutdown.
+        self._backend.close(wait=wait)
 
     @property
     def closed(self) -> bool:

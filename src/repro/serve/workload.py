@@ -1,20 +1,32 @@
-"""Workload replay driver: arrival-rate pacing + latency reporting.
+"""Workload replay driver: arrival processes + latency reporting.
 
 Replays a query mix against a :class:`~repro.serve.service.QueryService`
 the way a load generator would hit a deployed system:
 
-- **open loop** — arrivals are scheduled at a configured rate (``rate``
-  queries/second) regardless of completions, so queueing delay shows up in
-  the latencies exactly as a user would feel it; ``rate=None`` submits the
-  whole workload at once (a pure throughput probe);
+- **open loop** — arrivals are scheduled regardless of completions, so
+  queueing delay shows up in the latencies exactly as a user would feel
+  it.  Two arrival processes: ``uniform`` (fixed ``1/rate`` spacing, the
+  deterministic replay) and ``poisson`` (seeded exponential inter-arrival
+  gaps at mean rate ``rate`` — the memoryless process real traffic
+  approximates, which exercises burst behaviour a uniform replay never
+  shows); ``rate=None`` submits the whole workload at once (a pure
+  throughput probe);
+- **mixed SGQ/TBQ traffic** — :func:`mix_deadlines` stamps a seeded
+  fraction of the items with a TBQ deadline, so a replay can model the
+  realistic blend of exact and time-bounded requests instead of
+  all-or-nothing;
 - per-query **latency** is measured from scheduled submission to future
   completion and summarised as nearest-rank percentiles
   (:func:`repro.utils.stats.percentile`), and additionally bucketed by
   the workload's **complexity class** (simple / medium / complex, Table
   VI) when items carry one — a replay report then shows which class the
   tail belongs to;
-- the report carries a :class:`~repro.serve.cache.CacheStats` snapshot so
-  cold/warm comparisons can attribute speedups to the shared weight cache;
+- the report carries a labelled
+  :class:`~repro.serve.service.ServingStatsReport` — *shared* cache
+  counters on the inline/thread backends, *summed per-worker* counters on
+  the process backend (each worker warms its own caches, so pool-wide
+  misses scale with the worker count by design; the label keeps the two
+  from being read as the same thing);
 - ``breakdown=True`` (CLI: ``--breakdown``) additionally collects each
   query's **search-vs-assembly time split** plus its A*-side counters
   (expansions, τ/visited prunes, peak queue size) from the engine's
@@ -25,7 +37,8 @@ the way a load generator would hit a deployed system:
 The module doubles as the ``repro-serve-workload`` console entrypoint
 (see ``setup.py``): build a preset dataset bundle, replay its workload for
 N passes, and print one report per pass — pass 1 is the cold run, later
-passes show the shared-cache steady state.
+passes show the cache steady state.  ``--backend {inline,thread,process}
+--workers N`` picks the execution backend.
 """
 
 from __future__ import annotations
@@ -34,17 +47,21 @@ import argparse
 import sys
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.assembly import ASSEMBLY_KERNELS
 from repro.core.astar import SEARCH_KERNELS
 from repro.errors import ServeError
 from repro.query.model import QueryGraph
+from repro.serve.backends import EXECUTION_BACKENDS
 from repro.serve.cache import CacheStats
-from repro.serve.service import QueryRequest, QueryService
+from repro.serve.service import QueryRequest, QueryService, ServingStatsReport
+from repro.utils.rng import derive_rng
 from repro.utils.stats import percentile
 from repro.utils.timing import Stopwatch
+
+ARRIVAL_PROCESSES = ("uniform", "poisson")
 
 
 @dataclass(frozen=True)
@@ -97,7 +114,12 @@ class ReplayReport:
 
     ``class_latencies`` buckets the per-query latencies by the workload
     items' complexity class (sorted ascending per bucket); empty when no
-    item carried a class.
+    item carried a class.  ``arrival`` names the arrival process
+    (``"uniform"`` / ``"poisson"``; meaningless when ``rate`` is
+    ``None``), ``deadline_requests`` counts the TBQ share of the mix,
+    and ``stats`` is the backend-labelled cache/memo report —
+    ``cache_stats`` keeps the bare weight-cache counters for older
+    consumers.
     """
 
     completed: int
@@ -109,6 +131,9 @@ class ReplayReport:
     truncated: int = 0
     breakdown: Optional[List[QueryBreakdown]] = None
     class_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    arrival: str = "uniform"
+    deadline_requests: int = 0
+    stats: Optional[ServingStatsReport] = None
 
     @property
     def throughput_qps(self) -> float:
@@ -132,12 +157,22 @@ class ReplayReport:
         return self.latency_percentile(99)
 
     def describe(self) -> str:
-        pacing = f"{self.rate:.1f} qps open-loop" if self.rate else "unpaced"
+        pacing = (
+            f"{self.rate:.1f} qps {self.arrival} open-loop"
+            if self.rate
+            else "unpaced"
+        )
         lines = [
             f"replay: {self.completed} completed, {self.failed} failed "
             f"in {self.elapsed_seconds * 1000:.1f} ms ({pacing})",
             f"throughput: {self.throughput_qps:.1f} qps",
         ]
+        if self.deadline_requests:
+            total = self.completed + self.failed
+            lines.append(
+                f"mix: {total - self.deadline_requests} sgq + "
+                f"{self.deadline_requests} tbq requests"
+            )
         if self.latencies:
             lines.append(
                 "latency ms: "
@@ -160,7 +195,14 @@ class ReplayReport:
                     f"p90={percentile(values, 90) * 1000:.2f} "
                     f"p99={percentile(values, 99) * 1000:.2f} ms"
                 )
-        if self.cache_stats is not None:
+        if self.stats is not None:
+            # Label the aggregation scope: a shared cache's hit rate and a
+            # per-worker sum are different quantities (see ServingStatsReport).
+            lines.append(
+                f"weight cache ({self.stats.scope_label()}): "
+                f"{self.stats.cache.describe()}"
+            )
+        elif self.cache_stats is not None:
             lines.append(f"weight cache: {self.cache_stats.describe()}")
         if self.truncated:
             lines.append(
@@ -183,6 +225,14 @@ class ReplayReport:
                 f"search totals: {expansions} expansions, {pruned} pruned, "
                 f"{stale} stale pops"
             )
+            if self.stats is not None:
+                lines.append(
+                    f"serving stats [{self.stats.backend} backend, "
+                    f"{self.stats.scope_label()}]: decomposition memo "
+                    f"hits={self.stats.memo_hits} "
+                    f"misses={self.stats.memo_misses}; "
+                    f"space {self.stats.space.describe()}"
+                )
             lines.append("search vs assembly per query (slowest assembly first):")
             ordered = sorted(self.breakdown, key=lambda b: -b.assembly_seconds)
             for row in ordered:
@@ -199,11 +249,60 @@ class ReplayReport:
         return "\n".join(lines)
 
 
+def mix_deadlines(
+    items: Sequence[WorkloadItem],
+    fraction: float,
+    deadline: float,
+    *,
+    seed: int = 0,
+) -> List[WorkloadItem]:
+    """Stamp a seeded ``fraction`` of the items with a TBQ ``deadline``.
+
+    Models a realistic mixed workload: most traffic exact (SGQ), a slice
+    latency-bounded (TBQ).  Selection is a seeded permutation, so the
+    same (items, fraction, seed) triple always marks the same queries —
+    replay passes stay comparable.  The remaining items keep their own
+    deadlines (usually ``None``).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ServeError(f"tbq fraction must be in [0, 1], got {fraction}")
+    if deadline <= 0:
+        raise ServeError(f"deadline must be positive, got {deadline}")
+    count = round(fraction * len(items))
+    rng = derive_rng(seed, "workload:tbq-mix")
+    chosen = set(rng.permutation(len(items))[:count].tolist())
+    return [
+        replace(item, deadline=deadline) if index in chosen else item
+        for index, item in enumerate(items)
+    ]
+
+
+def _arrival_schedule(
+    count: int, rate: float, arrival: str, seed: int
+) -> List[float]:
+    """Scheduled arrival offsets (seconds from replay start) per request."""
+    if arrival == "uniform":
+        return [index / rate for index in range(count)]
+    # Poisson process: i.i.d. exponential gaps with mean 1/rate.  Seeded,
+    # so a replay is reproducible; the schedule is fixed up front (open
+    # loop — arrivals never wait for completions).
+    rng = derive_rng(seed, "workload:poisson-arrivals")
+    gaps = rng.exponential(scale=1.0 / rate, size=count)
+    schedule: List[float] = []
+    clock = 0.0
+    for gap in gaps:
+        clock += float(gap)
+        schedule.append(clock)
+    return schedule
+
+
 def replay(
     service: QueryService,
     items: Sequence[Union[WorkloadItem, QueryRequest, QueryGraph]],
     *,
     rate: Optional[float] = None,
+    arrival: str = "uniform",
+    seed: int = 0,
     k: int = 10,
     breakdown: bool = False,
 ) -> ReplayReport:
@@ -214,11 +313,19 @@ def replay(
         items: workload items (bare :class:`QueryGraph` entries get ``k``).
         rate: open-loop arrival rate in queries/second; ``None`` submits
             everything immediately.
+        arrival: arrival process — ``"uniform"`` (fixed spacing) or
+            ``"poisson"`` (seeded exponential gaps at mean rate ``rate``).
+        seed: RNG seed for the Poisson schedule.
         breakdown: collect each query's search-vs-assembly split into
             :attr:`ReplayReport.breakdown`.
     """
     if rate is not None and rate <= 0:
         raise ServeError(f"arrival rate must be positive, got {rate}")
+    if arrival not in ARRIVAL_PROCESSES:
+        raise ServeError(
+            f"unknown arrival process {arrival!r} "
+            f"(expected one of {ARRIVAL_PROCESSES})"
+        )
     requests = []
     classes: List[str] = []
     for item in items:
@@ -278,13 +385,18 @@ def replay(
 
         future.add_done_callback(_finish)
 
+    schedule = (
+        _arrival_schedule(len(requests), rate, arrival, seed)
+        if rate is not None
+        else None
+    )
     for index, request in enumerate(requests):
-        if rate is None:
+        if schedule is None:
             # Unpaced: no schedule exists, so latency starts at the
             # actual submission instant.
             _submit(request, watch.elapsed(), index)
             continue
-        scheduled = index / rate
+        scheduled = schedule[index]
         delay = scheduled - watch.elapsed()
         if delay > 0:
             time.sleep(delay)
@@ -298,18 +410,24 @@ def replay(
         done.acquire()
     elapsed = watch.elapsed()
 
+    stats = service.serving_stats()
     return ReplayReport(
         completed=len(latencies),
         failed=failures[0],
         elapsed_seconds=elapsed,
         latencies=sorted(latencies),
         rate=rate,
-        cache_stats=service.cache.stats,
+        cache_stats=stats.cache,
         truncated=truncated[0],
         breakdown=splits if breakdown else None,
         class_latencies={
             cls: sorted(values) for cls, values in class_latencies.items()
         },
+        arrival=arrival,
+        deadline_requests=sum(
+            1 for request in requests if request.deadline is not None
+        ),
+        stats=stats,
     )
 
 
@@ -347,12 +465,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="open-loop arrival rate in qps (default: unpaced)",
     )
     parser.add_argument(
+        "--arrival",
+        default="uniform",
+        choices=ARRIVAL_PROCESSES,
+        help=(
+            "arrival process when --rate is set: 'uniform' fixed spacing "
+            "or 'poisson' seeded exponential gaps (default: uniform)"
+        ),
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         default=None,
-        help="per-query TBQ deadline in seconds (default: exact SGQ)",
+        help=(
+            "per-query TBQ deadline in seconds; applies to every query, "
+            "or to the --tbq-fraction slice when that is set "
+            "(default: exact SGQ)"
+        ),
     )
-    parser.add_argument("--workers", type=int, default=4, help="worker threads")
+    parser.add_argument(
+        "--tbq-fraction",
+        type=float,
+        default=None,
+        help=(
+            "fraction of queries (seeded selection) served time-bounded "
+            "with --deadline; the rest run exact SGQ (default: all-or-"
+            "nothing per --deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        default="thread",
+        choices=EXECUTION_BACKENDS,
+        help=(
+            "execution backend: 'inline' (caller's thread), 'thread' "
+            "(GIL-bound pool, shared caches) or 'process' (true multi-"
+            "core parallelism; per-worker engines bootstrapped from a "
+            "pickled EngineSpec).  Identical exact results on all three."
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker pool size (threads or processes; ignored by inline)",
+    )
     parser.add_argument(
         "--view",
         default="lazy",
@@ -407,8 +562,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--repeats must be at least 1, got {args.repeats}")
     if args.rate is not None and args.rate <= 0:
         parser.error(f"--rate must be positive, got {args.rate}")
+    if args.arrival == "poisson" and args.rate is None:
+        parser.error("--arrival poisson requires --rate")
     if args.deadline is not None and args.deadline <= 0:
         parser.error(f"--deadline must be positive, got {args.deadline}")
+    if args.tbq_fraction is not None:
+        if not 0.0 <= args.tbq_fraction <= 1.0:
+            parser.error(
+                f"--tbq-fraction must be in [0, 1], got {args.tbq_fraction}"
+            )
+        if args.deadline is None and args.tbq_fraction > 0:
+            parser.error("--tbq-fraction requires --deadline")
     if args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
     if args.search_kernel == "vectorized" and args.view != "compact":
@@ -420,30 +584,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(
         f"{args.preset}: {bundle.kg.num_entities} entities, "
         f"{bundle.kg.num_edges} edges, {len(bundle.workload)} queries "
-        f"({args.view} view)"
+        f"({args.view} view, {args.backend} backend)"
     )
+    # With a --tbq-fraction only the seeded slice gets the deadline;
+    # without one the historical all-or-nothing semantics apply.
+    per_item_deadline = None if args.tbq_fraction is not None else args.deadline
     items = [
         WorkloadItem(
             query=q.query,
             k=args.k,
-            deadline=args.deadline,
+            deadline=per_item_deadline,
             qid=q.qid,
             complexity=q.complexity,
         )
         for q in bundle.workload
     ]
+    if args.tbq_fraction:
+        items = mix_deadlines(
+            items, args.tbq_fraction, args.deadline, seed=args.seed
+        )
     with QueryService.build(
         bundle.kg,
         bundle.space,
         bundle.library,
-        max_workers=args.workers,
+        backend=args.backend,
+        workers=args.workers,
         compact=(args.view == "compact"),
         assembly_kernel=args.assembly_kernel,
         search_kernel=args.search_kernel,
     ) as service:
+        if args.backend == "process":
+            warmed = service.warmup()
+            print(f"warmed {warmed}/{service.workers} process workers")
         for run in range(1, args.repeats + 1):
-            service.cache.reset_stats()
-            report = replay(service, items, rate=args.rate, breakdown=args.breakdown)
+            service.reset_serving_stats()
+            report = replay(
+                service,
+                items,
+                rate=args.rate,
+                arrival=args.arrival,
+                seed=args.seed,
+                breakdown=args.breakdown,
+            )
             label = "cold" if run == 1 else "warm"
             print(f"\n--- pass {run}/{args.repeats} ({label}) ---")
             print(report.describe())

@@ -1,0 +1,219 @@
+"""Pickle round-trips for everything that crosses the process boundary.
+
+The process backend's correctness rests on five types surviving
+``pickle.loads(pickle.dumps(...))`` with their behaviour intact:
+:class:`~repro.core.engine.EngineSpec` (worker bootstrap),
+:class:`~repro.serve.service.QueryRequest` (task submission),
+:class:`~repro.core.results.QueryResultPayload` (result return),
+:class:`~repro.kg.compact.CompactGraph` (the shipped graph snapshot) and
+:class:`~repro.query.decompose.Decomposition` (memoized per worker).
+Each test checks equality where value semantics exist and behaviour
+(same search results) where they do not.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.bench.equivalence import final_matches_differ
+from repro.core.engine import EngineSpec, SemanticGraphQueryEngine, build_engine
+from repro.core.results import QueryResultPayload
+from repro.kg.compact import CompactGraph
+from repro.query.builder import QueryGraphBuilder
+from repro.serve.service import QueryRequest
+
+
+def _roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+def _product_query():
+    return (
+        QueryGraphBuilder()
+        .target("v1", "Automobile")
+        .specific("v2", "Germany", "Country")
+        .edge("e1", "v1", "product", "v2")
+        .build()
+    )
+
+
+def _same_query(a, b):
+    return (
+        [(n.label, n.etype, n.name) for n in a.nodes()]
+        == [(n.label, n.etype, n.name) for n in b.nodes()]
+        and a.edges() == b.edges()
+    )
+
+
+class TestCompactGraph:
+    def test_arrays_and_edges_survive(self, small_bundle):
+        frozen = CompactGraph.freeze(small_bundle.kg)
+        thawed = _roundtrip(frozen)
+        assert thawed.num_nodes == frozen.num_nodes
+        assert thawed.num_edges == frozen.num_edges
+        assert thawed.predicate_names == frozen.predicate_names
+        assert thawed.type_names == frozen.type_names
+        for name in (
+            "entity_type", "edge_source", "edge_target", "edge_predicate",
+            "indptr", "slot_neighbor", "slot_predicate", "slot_edge",
+            "slot_forward",
+        ):
+            assert np.array_equal(getattr(thawed, name), getattr(frozen, name)), name
+
+    def test_derived_state_is_rebuilt(self, small_bundle):
+        frozen = CompactGraph.freeze(small_bundle.kg)
+        thawed = _roundtrip(frozen)
+        # The source-graph reference is dropped by design; the edge table
+        # and per-node slot mirror are rebuilt with value-equal edges.
+        assert thawed.kg is None
+        assert not thawed.is_stale()  # a shipped snapshot is never stale
+        assert not thawed.is_stale(small_bundle.kg)
+        assert len(thawed.edges) == len(frozen.edges)
+        for eid in range(0, frozen.num_edges, max(frozen.num_edges // 50, 1)):
+            assert thawed.edge(eid) == frozen.edge(eid)
+        for uid in range(0, frozen.num_nodes, max(frozen.num_nodes // 50, 1)):
+            assert thawed.node_slots[uid] == frozen.node_slots[uid]
+            assert thawed.degree(uid) == frozen.degree(uid)
+
+
+class TestEngineSpec:
+    @pytest.mark.parametrize("compact", [False, True], ids=["lazy", "compact"])
+    def test_rebuilt_engine_is_behaviourally_identical(
+        self, small_bundle, compact
+    ):
+        spec = EngineSpec(
+            kg=small_bundle.kg,
+            space=small_bundle.space,
+            library=small_bundle.library,
+            compact=compact,
+            compact_graph=(
+                CompactGraph.freeze(small_bundle.kg) if compact else None
+            ),
+        )
+        original = build_engine(spec)
+        rebuilt = build_engine(_roundtrip(spec))
+        for q in small_bundle.workload[:3]:
+            expected = original.search(q.query, k=5)
+            actual = rebuilt.search(q.query, k=5)
+            problem = final_matches_differ(q.qid, expected.matches, actual.matches)
+            assert problem is None, problem
+            assert expected.ta_accesses == actual.ta_accesses
+
+    def test_engine_to_spec_roundtrip(self, small_bundle):
+        engine = SemanticGraphQueryEngine(
+            small_bundle.kg, small_bundle.space, small_bundle.library,
+            compact=True,
+        )
+        spec = engine.to_spec()
+        # The already-frozen kernel rides along — workers skip the freeze.
+        assert spec.compact_graph is not None
+        thawed = _roundtrip(spec)
+        assert thawed.compact and thawed.compact_graph is not None
+        assert thawed.compact_graph.num_edges == small_bundle.kg.num_edges
+
+    def test_to_spec_grafts_frozen_kernel_onto_cached_spec(self, small_bundle):
+        """An engine built from a graphless compact spec still ships the
+        kernel it froze, so process workers never redo the O(V+E) freeze."""
+        spec = EngineSpec(
+            kg=small_bundle.kg,
+            space=small_bundle.space,
+            library=small_bundle.library,
+            compact=True,
+        )
+        assert spec.compact_graph is None
+        engine = build_engine(spec)
+        shipped = engine.to_spec()
+        assert shipped.compact_graph is not None
+        assert shipped.compact_graph.num_edges == small_bundle.kg.num_edges
+
+    def test_custom_view_factory_has_no_spec(self, small_bundle):
+        from repro.core.compact_view import lazy_view_factory
+        from repro.errors import SearchError
+
+        engine = SemanticGraphQueryEngine(
+            small_bundle.kg, small_bundle.space, small_bundle.library,
+            view_factory=lazy_view_factory,
+        )
+        with pytest.raises(SearchError):
+            engine.to_spec()
+
+
+class TestQueryRequest:
+    def test_fields_survive(self):
+        request = QueryRequest(
+            query=_product_query(), k=7, deadline=0.25, pivot="v1",
+            strategy="min_cost", tag="q-42",
+        )
+        thawed = _roundtrip(request)
+        assert thawed.k == 7
+        assert thawed.deadline == 0.25
+        assert thawed.pivot == "v1"
+        assert thawed.strategy == "min_cost"
+        assert thawed.tag == "q-42"
+        assert _same_query(thawed.query, request.query)
+
+
+class TestQueryResultPayload:
+    def test_payload_roundtrips_bit_identically(self, small_bundle):
+        engine = SemanticGraphQueryEngine(
+            small_bundle.kg, small_bundle.space, small_bundle.library
+        )
+        result = engine.search(small_bundle.workload[0].query, k=5)
+        payload = QueryResultPayload.from_result(result)
+        thawed = _roundtrip(payload)
+        problem = final_matches_differ(
+            "payload", result.matches, list(thawed.matches)
+        )
+        assert problem is None, problem
+        assert thawed.ta_accesses == result.ta_accesses
+        assert thawed.ta_rounds == result.ta_rounds
+        assert thawed.expansions == result.expansions
+        assert thawed.pruned_by_tau == result.pruned_by_tau
+        assert thawed.max_queue_size == result.max_queue_size
+        assert thawed.search_seconds == result.search_seconds
+        assert thawed.answer_uids() == result.answer_uids()
+
+    def test_to_result_inverts_from_result(self, small_bundle):
+        engine = SemanticGraphQueryEngine(
+            small_bundle.kg, small_bundle.space, small_bundle.library
+        )
+        result = engine.search(small_bundle.workload[1].query, k=5)
+        rebuilt = _roundtrip(QueryResultPayload.from_result(result)).to_result()
+        problem = final_matches_differ(
+            "to_result", result.matches, rebuilt.matches
+        )
+        assert problem is None, problem
+        # Derived counters recompute to the same values from the
+        # round-tripped subquery stats.
+        assert rebuilt.expansions == result.expansions
+        assert rebuilt.stale_pops == result.stale_pops
+        assert rebuilt.ta_truncated == result.ta_truncated
+        assert rebuilt.approximate == result.approximate
+
+
+class TestDecomposition:
+    def test_structure_and_behaviour_survive(self, small_bundle):
+        engine = SemanticGraphQueryEngine(
+            small_bundle.kg, small_bundle.space, small_bundle.library
+        )
+        item = next(
+            q for q in small_bundle.workload if q.complexity != "simple"
+        )
+        decomposition = engine.decompose(item.query)
+        thawed = _roundtrip(decomposition)
+        assert thawed.pivot_label == decomposition.pivot_label
+        assert thawed.cost == decomposition.cost
+        assert thawed.describe() == decomposition.describe()
+        assert len(thawed.subqueries) == len(decomposition.subqueries)
+        for a, b in zip(thawed.subqueries, decomposition.subqueries):
+            assert a.node_labels == b.node_labels
+            assert [s.predicate for s in a.steps] == [
+                s.predicate for s in b.steps
+            ]
+        # Behavioural check: searching with the round-tripped
+        # decomposition reproduces the baseline exactly.
+        expected = engine.search(item.query, k=5)
+        actual = engine.search(item.query, k=5, decomposition=thawed)
+        problem = final_matches_differ(item.qid, expected.matches, actual.matches)
+        assert problem is None, problem

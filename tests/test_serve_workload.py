@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ServeError
 from repro.serve.service import QueryRequest, QueryService
-from repro.serve.workload import ReplayReport, WorkloadItem, replay
+from repro.serve.workload import ReplayReport, WorkloadItem, mix_deadlines, replay
 from repro.serve.workload import main as workload_main
 from repro.utils.stats import percentile
 
@@ -155,6 +155,93 @@ class TestReplay:
         assert report.class_latencies == {}
         assert "latency by complexity class" not in report.describe()
 
+    def test_cache_stats_scope_labelled(self, service, small_bundle):
+        report = replay(service, [small_bundle.workload[0].query], k=4)
+        assert report.stats is not None
+        assert report.stats.scope == "shared"
+        assert "weight cache (shared):" in report.describe()
+
+
+class TestPoissonArrivals:
+    def test_poisson_replay_is_seeded_and_reported(self, service, small_bundle):
+        query = small_bundle.workload[0].query
+        report = replay(
+            service, [query] * 4, rate=200.0, arrival="poisson", seed=7
+        )
+        assert report.completed == 4
+        assert report.arrival == "poisson"
+        assert "poisson open-loop" in report.describe()
+
+    def test_poisson_schedule_deterministic(self):
+        from repro.serve.workload import _arrival_schedule
+
+        first = _arrival_schedule(16, 50.0, "poisson", seed=3)
+        again = _arrival_schedule(16, 50.0, "poisson", seed=3)
+        other = _arrival_schedule(16, 50.0, "poisson", seed=4)
+        assert first == again
+        assert first != other
+        assert all(b > a for a, b in zip(first, again[1:]))  # increasing
+        # Exponential gaps are irregular, unlike the uniform schedule.
+        gaps = [b - a for a, b in zip([0.0] + first[:-1], first)]
+        assert len({round(g, 9) for g in gaps}) > 1
+
+    def test_uniform_schedule_matches_legacy_pacing(self):
+        from repro.serve.workload import _arrival_schedule
+
+        assert _arrival_schedule(3, 40.0, "uniform", seed=0) == [
+            0.0, 1 / 40.0, 2 / 40.0,
+        ]
+
+    def test_unknown_arrival_rejected(self, service, small_bundle):
+        with pytest.raises(ServeError):
+            replay(
+                service,
+                [small_bundle.workload[0].query],
+                rate=10.0,
+                arrival="bursty",
+            )
+
+
+class TestMixDeadlines:
+    def _items(self, small_bundle, n=8):
+        query = small_bundle.workload[0].query
+        return [WorkloadItem(query=query, k=3, qid=f"q{i}") for i in range(n)]
+
+    def test_fraction_selects_seeded_slice(self, small_bundle):
+        items = self._items(small_bundle)
+        mixed = mix_deadlines(items, 0.5, 0.2, seed=5)
+        with_deadline = [item for item in mixed if item.deadline is not None]
+        assert len(with_deadline) == 4
+        assert all(item.deadline == 0.2 for item in with_deadline)
+        # Deterministic: the same seed marks the same items.
+        again = mix_deadlines(items, 0.5, 0.2, seed=5)
+        assert [i.deadline for i in mixed] == [i.deadline for i in again]
+
+    def test_extremes(self, small_bundle):
+        items = self._items(small_bundle, n=4)
+        assert all(
+            i.deadline is None for i in mix_deadlines(items, 0.0, 0.2)
+        )
+        assert all(
+            i.deadline == 0.2 for i in mix_deadlines(items, 1.0, 0.2)
+        )
+
+    def test_validation(self, small_bundle):
+        items = self._items(small_bundle, n=2)
+        with pytest.raises(ServeError):
+            mix_deadlines(items, 1.5, 0.2)
+        with pytest.raises(ServeError):
+            mix_deadlines(items, 0.5, 0.0)
+
+    def test_mixed_replay_reports_tbq_share(self, service, small_bundle):
+        items = mix_deadlines(
+            self._items(small_bundle, n=4), 0.5, 0.5, seed=1
+        )
+        report = replay(service, items)
+        assert report.completed == 4
+        assert report.deadline_requests == 2
+        assert "mix: 2 sgq + 2 tbq requests" in report.describe()
+
 
 class TestConsoleEntrypoint:
     def test_main_smoke(self, capsys):
@@ -270,8 +357,52 @@ class TestConsoleEntrypoint:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "(compact view)" in out
+        assert "(compact view, thread backend)" in out
         assert "pass 2/2 (warm)" in out
+
+    def test_main_process_backend(self, capsys):
+        code = workload_main(
+            [
+                "--preset", "dbpedia", "--scale", "1.0", "--seed", "11",
+                "--repeats", "2", "--k", "4", "--workers", "2",
+                "--view", "compact", "--backend", "process", "--breakdown",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "process backend" in out
+        assert "warmed" in out
+        assert "weight cache (per-worker sum" in out
+        assert "serving stats [process backend, per-worker sum" in out
+
+    def test_main_poisson_and_tbq_mix(self, capsys):
+        code = workload_main(
+            [
+                "--preset", "dbpedia", "--scale", "1.0", "--seed", "11",
+                "--repeats", "1", "--k", "4", "--workers", "2",
+                "--rate", "200", "--arrival", "poisson",
+                "--deadline", "0.5", "--tbq-fraction", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "poisson open-loop" in out
+        assert "tbq requests" in out
+
+    def test_main_poisson_requires_rate(self):
+        with pytest.raises(SystemExit):
+            workload_main(
+                ["--preset", "dbpedia", "--scale", "1.0", "--arrival", "poisson"]
+            )
+
+    def test_main_tbq_fraction_requires_deadline(self):
+        with pytest.raises(SystemExit):
+            workload_main(
+                [
+                    "--preset", "dbpedia", "--scale", "1.0",
+                    "--tbq-fraction", "0.5",
+                ]
+            )
 
     def test_report_describe_without_cache_stats(self):
         report = ReplayReport(
