@@ -13,11 +13,16 @@ adds (`repro.serve.backends`).  Claims verified:
    workers, the process backend clears >= 2x the thread backend's
    throughput.  The thread pool serialises CPU-bound searches under the
    GIL, so its 4 workers deliver ~1 core of compute; 4 process workers
-   deliver ~4.  The assertion is gated on the hardware actually having
-   the cores (``os.cpu_count() >= 4``): on smaller boxes (CI runners,
-   1-2 core containers) there is no parallelism to express, the ratio is
-   measured and recorded as informational, and only claim 1 gates —
-   the same policy every kernel bench in this repo follows for timing.
+   deliver ~4.  The assertion only runs where the hardware actually has
+   the cores (``multicore_speedup_gate``): on smaller boxes (CI runners,
+   1-2 core containers) there is no parallelism to express and the test
+   **skips**, with the measured core count in the skip reason, so the
+   report shows a skip instead of a silent pass — the same policy every
+   kernel bench in this repo follows for timing.
+
+The two claims are separate tests sharing one measured comparison
+(module-scoped fixture), so a skipped speedup can never mask the
+equivalence verdict and vice versa.
 
 Emits ``benchmarks/results/BENCH_parallel_serving.json`` for CI and the
 README's performance numbers.
@@ -27,7 +32,9 @@ from __future__ import annotations
 
 import os
 
-from repro.bench.parallelbench import compare_backends
+import pytest
+
+from repro.bench.parallelbench import compare_backends, multicore_speedup_gate
 from repro.bench.reporting import emit, emit_json, format_table
 
 from conftest import BENCH_SCALE  # noqa: F401 (fixture module import idiom)
@@ -40,7 +47,9 @@ MIN_SPEEDUP = 2.0
 MIN_CORES = 4
 
 
-def test_parallel_serving_equivalence_and_speedup(dbpedia_bundle, benchmark):
+@pytest.fixture(scope="module")
+def backend_comparison(dbpedia_bundle):
+    """One measured cross-backend comparison shared by both claims."""
     comparison = compare_backends(
         dbpedia_bundle,
         k=K,
@@ -82,25 +91,27 @@ def test_parallel_serving_equivalence_and_speedup(dbpedia_bundle, benchmark):
             ),
         ),
     )
+    return comparison
 
+
+def test_parallel_serving_equivalence(backend_comparison):
     # Claim 1: bit-identical results on every backend, every pass.
-    assert comparison.equivalent, comparison.mismatches[:10]
+    assert backend_comparison.equivalent, backend_comparison.mismatches[:10]
 
+
+def test_parallel_serving_multicore_speedup(backend_comparison):
     # Claim 2: multi-core throughput, asserted only where cores exist.
-    if (os.cpu_count() or 1) >= MIN_CORES:
-        assert comparison.process_speedup_vs_thread >= MIN_SPEEDUP, (
-            f"process backend speedup {comparison.process_speedup_vs_thread:.2f}x "
-            f"over thread backend is below the {MIN_SPEEDUP:.0f}x target "
-            f"on a {os.cpu_count()}-core machine"
-        )
-    else:
-        print(
-            f"(informational) process/thread speedup "
-            f"{comparison.process_speedup_vs_thread:.2f}x on "
-            f"{os.cpu_count()} core(s) — below {MIN_CORES} cores, "
-            "timing assertion skipped"
-        )
+    should_assert, reason = multicore_speedup_gate(os.cpu_count(), MIN_CORES)
+    if not should_assert:
+        pytest.skip(reason)
+    assert backend_comparison.process_speedup_vs_thread >= MIN_SPEEDUP, (
+        f"process backend speedup "
+        f"{backend_comparison.process_speedup_vs_thread:.2f}x over thread "
+        f"backend is below the {MIN_SPEEDUP:.0f}x target ({reason})"
+    )
 
+
+def test_parallel_serving_steady_state(dbpedia_bundle, benchmark):
     # Steady-state batch replay on the thread backend (cheap to measure
     # under pytest-benchmark; the process pool is exercised above).
     from repro.serve.service import QueryService

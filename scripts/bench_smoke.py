@@ -20,7 +20,12 @@ build (CI machines are too noisy for that; the full-scale benches in
    (``repro.bench.parallelbench``: the workload replayed twice per
    backend on a 2-worker pool, process workers bootstrapped from the
    pickled EngineSpec) →
-   ``benchmarks/results/BENCH_parallel_serving.json``.
+   ``benchmarks/results/BENCH_parallel_serving.json``;
+5. the held-out scenario suite (``repro.scenarios``: the checked-in
+   ``benchmarks/scenarios/held_out_v1.pkl`` workload replayed against
+   its recorded golden answers — exact-query result-set equivalence
+   plus per-intent p95 latency within the artifact's declared budget) →
+   ``benchmarks/results/BENCH_scenarios.json``.
 
 Usage::
 
@@ -53,6 +58,13 @@ from repro.bench.searchbench import (  # noqa: E402
     compare_search_kernels,
     d12_search_comparison,
 )
+from repro.scenarios import (  # noqa: E402
+    Workload,
+    load_golden,
+    run_scenario_gate,
+)
+
+SCENARIO_DIR = REPO / "benchmarks" / "scenarios"
 
 
 def main(argv=None) -> int:
@@ -174,6 +186,44 @@ def main(argv=None) -> int:
         print("RESULT MISMATCH between serving backends:", file=sys.stderr)
         for problem in backends.mismatches[:10]:
             print(f"  {problem}", file=sys.stderr)
+
+    # -- gate 5: held-out scenario suite vs golden answers ----------------
+    workload = Workload.from_pickle(SCENARIO_DIR / "held_out_v1.pkl")
+    golden = load_golden(SCENARIO_DIR / "held_out_v1.golden.json")
+    gate = run_scenario_gate(workload, golden)
+    path = emit_json("BENCH_scenarios", gate.to_json())
+    print(
+        f"scenarios: {gate.workload} replayed on the {gate.backend} backend "
+        f"({gate.num_queries} queries: {gate.exact_queries} exact, "
+        f"{gate.deadline_requests} time-bounded); "
+        f"digest {gate.digest.split(':', 1)[1][:12]}"
+    )
+    for intent, row in sorted(gate.latency_ms.items()):
+        budget = row.get("budget_p95_ms")
+        budget_note = f" (budget {budget:.0f} ms)" if budget else ""
+        print(
+            f"  {intent} (n={row['n']:.0f}): p50={row['p50_ms']:.1f} "
+            f"p95={row['p95_ms']:.1f} ms{budget_note}"
+        )
+    print(f"report: {path}")
+    if gate.passed:
+        print(
+            f"scenario gate OK: golden equivalence on all "
+            f"{gate.exact_queries} exact queries, all intent classes "
+            f"within latency budget"
+        )
+    else:
+        failed = True
+        if not gate.equivalent:
+            print("GOLDEN-ANSWER MISMATCH on the held-out scenario suite:",
+                  file=sys.stderr)
+            for problem in gate.mismatches[:10]:
+                print(f"  {problem}", file=sys.stderr)
+        if not gate.budget_ok:
+            print("LATENCY BUDGET EXCEEDED on the held-out scenario suite:",
+                  file=sys.stderr)
+            for problem in gate.budget_violations[:10]:
+                print(f"  {problem}", file=sys.stderr)
 
     return 1 if failed else 0
 

@@ -44,6 +44,30 @@ from repro.utils.timing import Stopwatch
 COMPARED_BACKENDS = ("thread", "process")
 
 
+def multicore_speedup_gate(
+    cpu_count: Optional[int], min_cores: int = 4
+) -> Tuple[bool, str]:
+    """Decide whether the multi-core speedup assertion can run here.
+
+    Returns ``(should_assert, reason)``; ``reason`` always carries the
+    measured core count so a skipped assertion is visible in the test
+    report rather than silently passing.  ``cpu_count`` follows the
+    :func:`os.cpu_count` contract and may be ``None`` (undetermined),
+    which counts as a single core.
+    """
+    cores = cpu_count if cpu_count is not None else 1
+    if cores >= min_cores:
+        return True, (
+            f"{cores} core(s) available (>= {min_cores}); "
+            "multi-core speedup assertion active"
+        )
+    return False, (
+        f"only {cores} core(s) available (< {min_cores}); the thread and "
+        "process pools compete for the same core so there is no "
+        "parallelism to express — speedup recorded as informational"
+    )
+
+
 @dataclass
 class BackendComparison:
     """Everything the cross-backend gate measured and judged."""

@@ -69,6 +69,18 @@ class TimeBudgetError(ReproError):
     """Raised for invalid time-bound parameters in TBQ."""
 
 
+class ScenarioError(ReproError):
+    """Raised for scenario-synthesis misuse.
+
+    Examples: an empty intent mix in a
+    :class:`~repro.scenarios.suite.WorkloadBuilder`, loading a
+    :class:`~repro.scenarios.suite.Workload` artifact written by an
+    incompatible format version, or an augmentation budget that names a
+    resource (predicate space, transformation library) the caller did
+    not supply.
+    """
+
+
 class ServeError(ReproError):
     """Raised for serving-layer misuse.
 

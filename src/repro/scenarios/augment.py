@@ -1,0 +1,161 @@
+"""Scenario augmentation: predicate paraphrase + node noise, budgeted.
+
+Two composable perturbations turn a clean intent query into the phrasing
+a real user would type:
+
+- **predicate paraphrase** — replace one edge's predicate with a
+  neighbour from the embedding :class:`~repro.embedding.PredicateSpace`
+  (``top_similar``), optionally floored at a minimum similarity so the
+  paraphrase stays *recoverable* (unlike the adversarial edge noise of
+  Section VII-E, which deliberately drifts the intent);
+- **node noise** — :func:`repro.query.noise.add_node_noise`: one node's
+  name or type swapped for a registered synonym/abbreviation.
+
+Both preserve query structure exactly — same node labels, same edge
+labels, same sources and targets, same node/edge counts — because they
+act through :meth:`QueryGraph.replace_edge` / ``replace_node``.  The
+:class:`AugmentationBudget` declares how much of a scenario set may be
+touched; :func:`augment_queries` enforces it with seeded permutations,
+so the same ``(queries, budget, seed)`` triple always perturbs the same
+queries the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.embedding.predicate_space import PredicateSpace
+from repro.errors import ScenarioError
+from repro.query.model import QueryEdge, QueryGraph
+from repro.query.noise import add_node_noise
+from repro.query.transform import TransformationLibrary
+from repro.utils.rng import SeedLike, derive_rng
+
+
+@dataclass(frozen=True)
+class AugmentationBudget:
+    """Declared ceiling on how much augmentation may change a scenario set.
+
+    ``paraphrase_fraction`` / ``node_noise_fraction`` bound the share of
+    queries each stage may touch (each touched query receives at most
+    one edit per stage); ``top_n`` and ``min_similarity`` shape the
+    paraphrase neighbourhood.
+    """
+
+    paraphrase_fraction: float = 0.0
+    node_noise_fraction: float = 0.0
+    top_n: int = 5
+    min_similarity: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("paraphrase_fraction", "node_noise_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ScenarioError(f"{name} must be in [0, 1], got {value}")
+        if self.top_n < 1:
+            raise ScenarioError(f"top_n must be at least 1, got {self.top_n}")
+        if not 0.0 <= self.min_similarity <= 1.0:
+            raise ScenarioError(
+                f"min_similarity must be in [0, 1], got {self.min_similarity}"
+            )
+
+
+def paraphrase_predicate(
+    query: QueryGraph,
+    space: PredicateSpace,
+    *,
+    seed: SeedLike = 0,
+    top_n: int = 5,
+    min_similarity: float = 0.0,
+) -> QueryGraph:
+    """Replace one edge's predicate with a near neighbour from ``space``.
+
+    Edges whose predicate is unknown to the space are skipped, as are
+    neighbours below ``min_similarity``; when nothing qualifies the
+    query is returned unchanged (the augmentation counts it untouched).
+    """
+    if top_n < 1:
+        raise ScenarioError(f"top_n must be at least 1, got {top_n}")
+    rng = derive_rng(seed, "augment:paraphrase")
+    candidates = [edge for edge in query.edges() if edge.predicate in space]
+    if not candidates:
+        return query
+    edge = candidates[int(rng.integers(len(candidates)))]
+    neighbours = [
+        name
+        for name, score in space.top_similar(edge.predicate, top_n)
+        if score >= min_similarity
+    ]
+    if not neighbours:
+        return query
+    replacement = neighbours[int(rng.integers(len(neighbours)))]
+    return query.replace_edge(
+        QueryEdge(
+            label=edge.label,
+            source=edge.source,
+            predicate=replacement,
+            target=edge.target,
+        )
+    )
+
+
+def augment_queries(
+    queries: Sequence[QueryGraph],
+    *,
+    budget: AugmentationBudget,
+    space: Optional[PredicateSpace] = None,
+    library: Optional[TransformationLibrary] = None,
+    seed: int = 0,
+) -> List[Tuple[QueryGraph, Tuple[str, ...]]]:
+    """Apply the budgeted augmentation pipeline to a scenario set.
+
+    Returns ``(query, tags)`` per input query, in order; ``tags`` names
+    the stages that actually changed it (``"paraphrase"`` and/or
+    ``"node-noise"``), so a frozen workload records its own provenance.
+    """
+    if budget.paraphrase_fraction > 0 and space is None:
+        raise ScenarioError("paraphrase augmentation requires a predicate space")
+    if budget.node_noise_fraction > 0 and library is None:
+        raise ScenarioError(
+            "node-noise augmentation requires a transformation library"
+        )
+    total = len(queries)
+    paraphrase_count = round(budget.paraphrase_fraction * total)
+    noise_count = round(budget.node_noise_fraction * total)
+    paraphrase_chosen = set(
+        derive_rng(seed, "augment:paraphrase-pick")
+        .permutation(total)[:paraphrase_count]
+        .tolist()
+    )
+    noise_chosen = set(
+        derive_rng(seed, "augment:noise-pick")
+        .permutation(total)[:noise_count]
+        .tolist()
+    )
+
+    out: List[Tuple[QueryGraph, Tuple[str, ...]]] = []
+    for index, query in enumerate(queries):
+        tags: List[str] = []
+        if index in paraphrase_chosen:
+            assert space is not None
+            changed = paraphrase_predicate(
+                query,
+                space,
+                seed=derive_rng(seed, f"augment:paraphrase:{index}"),
+                top_n=budget.top_n,
+                min_similarity=budget.min_similarity,
+            )
+            if changed is not query:
+                tags.append("paraphrase")
+                query = changed
+        if index in noise_chosen:
+            assert library is not None
+            changed = add_node_noise(
+                query, library, seed=derive_rng(seed, f"augment:node:{index}")
+            )
+            if changed is not query:
+                tags.append("node-noise")
+                query = changed
+        out.append((query, tuple(tags)))
+    return out

@@ -1,0 +1,169 @@
+"""Per-domain generation vocabularies for the scenario intent generators.
+
+A :class:`DomainVocabulary` is a read-only index over one
+:class:`~repro.kg.schema.DomainSchema`: which relations can be *anchored*
+(their target type has named entities the generator always creates, so a
+query referencing them is answerable at every scale), which relations
+chain into two-hop schemas, which predicates are near-synonyms of each
+other (same semantic cluster — the "noisy phrasing" case of Section
+VII-E), and which predicate pairs sit near the pruning threshold τ (the
+pairs a τ-stress workload must phrase with).
+
+The vocabulary is pure schema arithmetic — no knowledge graph and no
+embedding is needed to build it — which keeps scenario *generation* cheap
+and fully deterministic; the KG and predicate space are only built when a
+frozen workload is replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ScenarioError
+from repro.kg.schema import DomainSchema
+
+
+def predicate_affinity(schema: DomainSchema, a: str, b: str) -> float:
+    """Target cosine between two predicates of ``schema``.
+
+    Resolution order mirrors the oracle space construction: an explicit
+    per-pair override first, then the cluster-level affinity (intra
+    cluster / same group / background).
+    """
+    if a == b:
+        return 1.0
+    override = schema.predicate_affinity_overrides.get(frozenset((a, b)))
+    if override is not None:
+        return override
+    return schema.cluster_affinity(schema.cluster_of(a), schema.cluster_of(b))
+
+
+@dataclass(frozen=True)
+class AnchoredRelation:
+    """One schema predicate whose target type carries named anchors."""
+
+    predicate: str
+    source_type: str
+    target_type: str
+    cluster: str
+    anchors: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DomainVocabulary:
+    """Everything the intent generators need to know about one domain."""
+
+    domain: str
+    schema: DomainSchema
+    #: relations whose target type has named anchor entities, in schema
+    #: declaration order (the generators index into this with seeded rngs,
+    #: so the order is part of the byte-identical-output contract).
+    anchored: Tuple[AnchoredRelation, ...]
+    #: canonical entity name -> non-canonical surface forms (Table III).
+    name_variants: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: canonical type name -> non-canonical surface forms.
+    type_variants: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def from_schema(cls, domain: str, schema: DomainSchema) -> "DomainVocabulary":
+        anchored = []
+        for spec in schema.predicates:
+            named = schema.population(spec.target_type).named
+            if named:
+                anchored.append(
+                    AnchoredRelation(
+                        predicate=spec.name,
+                        source_type=spec.source_type,
+                        target_type=spec.target_type,
+                        cluster=spec.cluster,
+                        anchors=tuple(named),
+                    )
+                )
+        if not anchored:
+            raise ScenarioError(
+                f"domain {domain!r}: no predicate targets a type with named "
+                "anchors; scenario queries would be unanswerable"
+            )
+        names: Dict[str, Tuple[str, ...]] = {}
+        types: Dict[str, Tuple[str, ...]] = {}
+        for family in schema.synonym_families:
+            variants = family.variants()
+            if not variants:
+                continue
+            if family.kind == "name":
+                names[family.canonical] = variants
+            else:
+                types[family.canonical] = variants
+        return cls(
+            domain=domain,
+            schema=schema,
+            anchored=tuple(anchored),
+            name_variants=names,
+            type_variants=types,
+        )
+
+    # ------------------------------------------------------------------
+    # intent-generator lookups
+    # ------------------------------------------------------------------
+    def anchored_from(self, source_type: str) -> List[AnchoredRelation]:
+        return [rel for rel in self.anchored if rel.source_type == source_type]
+
+    def star_centers(self, min_fanout: int = 2) -> List[str]:
+        """Source types with enough distinct anchored relations to fan out."""
+        seen: Dict[str, int] = {}
+        for rel in self.anchored:
+            seen[rel.source_type] = seen.get(rel.source_type, 0) + 1
+        return [
+            rel.source_type
+            for rel in self.anchored
+            if seen[rel.source_type] >= min_fanout
+            and rel is self.anchored_from(rel.source_type)[0]
+        ]
+
+    def chain_pairs(self) -> List[Tuple[str, str, str, AnchoredRelation]]:
+        """Two-hop schemas ``(p1, source, mid, rel2)``.
+
+        ``p1`` runs ``source -> mid`` (any schema predicate) and ``rel2``
+        is an anchored relation out of ``mid`` — together they phrase
+        "targets related via p1 to something related via rel2 to this
+        anchor", the Fig. 8 correct-schema shape.
+        """
+        pairs = []
+        for spec in self.schema.predicates:
+            for rel in self.anchored_from(spec.target_type):
+                if rel.predicate != spec.name:
+                    pairs.append(
+                        (spec.name, spec.source_type, spec.target_type, rel)
+                    )
+        return pairs
+
+    def cluster_siblings(self, predicate: str) -> List[str]:
+        """Other predicates in the same semantic cluster (near-synonyms)."""
+        cluster = self.schema.cluster_of(predicate)
+        return [
+            spec.name
+            for spec in self.schema.predicates
+            if spec.cluster == cluster and spec.name != predicate
+        ]
+
+    def near_tau_phrasings(
+        self, tau: float, width: float = 0.04
+    ) -> List[Tuple[AnchoredRelation, str]]:
+        """``(relation, phrased_predicate)`` pairs with affinity near τ.
+
+        The query phrases the relation with a predicate whose target
+        similarity to the KG predicate lies inside ``[τ - width,
+        τ + width]`` — every knowledge-graph edge the search weighs then
+        lands right at the pruning boundary (Lemma 3), the worst case
+        for both the τ estimate bound and the TA threshold.
+        """
+        pairs = []
+        for rel in self.anchored:
+            for spec in self.schema.predicates:
+                if spec.name == rel.predicate:
+                    continue
+                affinity = predicate_affinity(self.schema, rel.predicate, spec.name)
+                if abs(affinity - tau) <= width:
+                    pairs.append((rel, spec.name))
+        return pairs

@@ -48,11 +48,11 @@ import sys
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.assembly import ASSEMBLY_KERNELS
 from repro.core.astar import SEARCH_KERNELS
-from repro.errors import ServeError
+from repro.errors import ScenarioError, ServeError
 from repro.query.model import QueryGraph
 from repro.serve.backends import EXECUTION_BACKENDS
 from repro.serve.cache import CacheStats
@@ -305,6 +305,7 @@ def replay(
     seed: int = 0,
     k: int = 10,
     breakdown: bool = False,
+    on_result: Optional[Callable] = None,
 ) -> ReplayReport:
     """Replay ``items`` through ``service`` and measure the experience.
 
@@ -318,6 +319,10 @@ def replay(
         seed: RNG seed for the Poisson schedule.
         breakdown: collect each query's search-vs-assembly split into
             :attr:`ReplayReport.breakdown`.
+        on_result: optional ``(index, request, result)`` callback invoked
+            (serialised under the report lock) for every successful
+            query — the hook scenario replays use to collect answer sets
+            without the report having to carry full results.
     """
     if rate is not None and rate <= 0:
         raise ServeError(f"arrival rate must be positive, got {rate}")
@@ -361,6 +366,8 @@ def replay(
                             latency
                         )
                     result = f.result()
+                    if on_result is not None:
+                        on_result(index, request, result)
                     if result.ta_truncated:
                         truncated[0] += 1
                     if breakdown:
@@ -448,6 +455,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default="dbpedia",
         choices=("dbpedia", "freebase", "yago2"),
         help="dataset bundle to generate (default: dbpedia)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="PATH",
+        help=(
+            "replay a frozen scenario Workload artifact (see "
+            "repro.scenarios) instead of a preset workload; the artifact "
+            "fixes the domain, query set, k, tau, arrival spec and "
+            "deadline mix, so --preset/--scale/--seed/--k are ignored and "
+            "--rate/--arrival/--deadline/--tbq-fraction are rejected"
+        ),
     )
     parser.add_argument("--scale", type=float, default=2.0, help="generator scale")
     parser.add_argument("--seed", type=int, default=1, help="generator seed")
@@ -550,6 +569,108 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_scenario(args, parser) -> int:
+    """Replay a frozen scenario artifact (the ``--scenario`` path)."""
+    if (
+        args.rate is not None
+        or args.arrival != "uniform"
+        or args.deadline is not None
+        or args.tbq_fraction is not None
+    ):
+        parser.error(
+            "--scenario fixes the arrival spec and deadline mix; "
+            "--rate/--arrival/--deadline/--tbq-fraction cannot override it"
+        )
+    # Deferred import: scenario replay pulls in the generator stack.
+    from repro.scenarios.replay import (
+        answer_digest,
+        build_resources,
+        scenario_items,
+    )
+    from repro.scenarios.suite import Workload
+    # Under ``python -m repro.serve.workload`` this file runs as
+    # ``__main__`` while the scenario machinery imports the canonical
+    # ``repro.serve.workload`` module — two distinct ``WorkloadItem``
+    # classes.  Replay through the canonical module so its isinstance
+    # checks see the class ``scenario_items`` actually constructed.
+    from repro.serve.workload import replay as canonical_replay
+
+    try:
+        workload = Workload.from_pickle(args.scenario)
+    except FileNotFoundError:
+        parser.error(f"--scenario: no such artifact: {args.scenario}")
+    except ScenarioError as exc:
+        parser.error(f"--scenario: {exc}")
+    resources = build_resources(workload)
+    counts = workload.intent_counts()
+    mix = workload.deadline_mix
+    print(
+        f"scenario {workload.name}: domain {workload.domain} @ scale "
+        f"{workload.scale} ({resources.kg.num_entities} entities, "
+        f"{resources.kg.num_edges} edges), {len(workload.queries)} queries, "
+        f"k={workload.k}, tau={workload.tau} "
+        f"({args.view} view, {args.backend} backend)"
+    )
+    print(
+        "intent mix: "
+        + ", ".join(f"{intent}={count}" for intent, count in counts.items())
+    )
+    if mix is not None and mix.fraction > 0:
+        print(
+            f"deadline mix: {mix.fraction:.0%} of queries time-bounded "
+            f"at {mix.deadline:.2f} s (seeded selection)"
+        )
+    items = scenario_items(workload)
+    kg = resources.kg
+    with QueryService.build(
+        resources.kg,
+        resources.space,
+        resources.library,
+        resources.config,
+        backend=args.backend,
+        workers=args.workers,
+        compact=(args.view == "compact"),
+        assembly_kernel=args.assembly_kernel,
+        search_kernel=args.search_kernel,
+    ) as service:
+        if args.backend == "process":
+            warmed = service.warmup()
+            print(f"warmed {warmed}/{service.workers} process workers")
+        for run in range(1, args.repeats + 1):
+            service.reset_serving_stats()
+            answers: Dict[str, List[str]] = {}
+
+            def _collect(index, request, result) -> None:
+                if request.deadline is None:
+                    answers[request.tag] = sorted(
+                        kg.entity(uid).name for uid in result.answer_uids()
+                    )
+
+            report = canonical_replay(
+                service,
+                items,
+                rate=workload.arrival.rate,
+                arrival=(
+                    workload.arrival.process
+                    if workload.arrival.rate is not None
+                    else "uniform"
+                ),
+                seed=workload.seed,
+                breakdown=args.breakdown,
+                on_result=_collect,
+            )
+            label = "cold" if run == 1 else "warm"
+            print(f"\n--- pass {run}/{args.repeats} ({label}) ---")
+            print(report.describe())
+            # The determinism contract: identical seeds must print an
+            # identical digest on every pass, run and backend.
+            print(
+                f"exact-match digest: {answer_digest(answers)} "
+                f"({len(answers)} exact queries)"
+            )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-serve-workload`` console script."""
     parser = _build_parser()
@@ -577,6 +698,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--workers must be at least 1, got {args.workers}")
     if args.search_kernel == "vectorized" and args.view != "compact":
         parser.error("--search-kernel vectorized requires --view compact")
+    if args.scenario is not None:
+        return _run_scenario(args, parser)
     # Deferred import: bundle generation pulls in the full bench stack.
     from repro.bench.datasets import load_bundle
 

@@ -306,3 +306,48 @@ class TestAssemblyBenchHarness:
         comparison = compare_assembly_kernels(default_cases("smoke"), passes=1)
         assert comparison.equivalent, comparison.mismatches
         assert comparison.num_cases == 5
+
+
+class TestMulticoreSpeedupGate:
+    """Branch selection for the parallel-serving speedup assertion.
+
+    The benchmark's >= 4-core assertion path historically never ran in
+    CI containers and was therefore untested; the gate is now a pure
+    function so every branch is exercised with injected core counts.
+    """
+
+    def test_enough_cores_asserts(self):
+        from repro.bench.parallelbench import multicore_speedup_gate
+
+        should_assert, reason = multicore_speedup_gate(4)
+        assert should_assert
+        assert "4 core(s)" in reason
+
+        should_assert, reason = multicore_speedup_gate(16)
+        assert should_assert
+        assert "16 core(s)" in reason
+
+    def test_too_few_cores_skips_with_measured_count(self):
+        from repro.bench.parallelbench import multicore_speedup_gate
+
+        for cores in (1, 2, 3):
+            should_assert, reason = multicore_speedup_gate(cores)
+            assert not should_assert
+            # The skip reason must carry the measured count so the test
+            # report shows *why* the assertion did not run.
+            assert f"only {cores} core(s)" in reason
+            assert "informational" in reason
+
+    def test_undetermined_cpu_count_counts_as_one_core(self):
+        from repro.bench.parallelbench import multicore_speedup_gate
+
+        should_assert, reason = multicore_speedup_gate(None)
+        assert not should_assert
+        assert "only 1 core(s)" in reason
+
+    def test_custom_threshold(self):
+        from repro.bench.parallelbench import multicore_speedup_gate
+
+        assert multicore_speedup_gate(2, min_cores=2)[0]
+        assert not multicore_speedup_gate(2, min_cores=8)[0]
+        assert "< 8" in multicore_speedup_gate(2, min_cores=8)[1]

@@ -217,3 +217,85 @@ class TestDecomposition:
         actual = engine.search(item.query, k=5, decomposition=thawed)
         problem = final_matches_differ(item.qid, expected.matches, actual.matches)
         assert problem is None, problem
+
+
+class TestWorkloadArtifact:
+    """The scenario Workload is a frozen, versioned, picklable artifact.
+
+    Its contract: pickling and the JSON manifest are both lossless for
+    everything the replay driver consumes, identical recipes produce
+    byte-identical pickles, and a format-version bump is rejected loudly
+    instead of being half-read.
+    """
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.scenarios import WorkloadBuilder
+
+        return (
+            WorkloadBuilder("roundtrip-suite", seed=77)
+            .domain("dbpedia")
+            .intents(star=2, chain=2, tau_stress=1)
+            .top_k(5)
+            .arrivals("poisson", rate=80.0)
+            .deadlines(0.2, 0.5)
+            .latency_budget(default_p95_ms=1500.0, star=900.0)
+            .build()
+        )
+
+    def test_pickle_roundtrip_preserves_manifest(self, workload, tmp_path):
+        from repro.scenarios import Workload
+
+        path = tmp_path / "artifact.pkl"
+        workload.to_pickle(path)
+        loaded = Workload.from_pickle(path)
+        assert loaded.manifest() == workload.manifest()
+        # Byte-identical re-pickle: the artifact has no hidden state.
+        assert pickle.dumps(loaded, protocol=4) == pickle.dumps(
+            workload, protocol=4
+        )
+
+    def test_manifest_json_roundtrip(self, workload):
+        import json
+
+        from repro.scenarios import Workload
+
+        manifest = workload.manifest()
+        # The manifest is pure JSON — no dataclasses, tuples or numpy.
+        wire = json.dumps(manifest, sort_keys=True)
+        rebuilt = Workload.from_manifest(json.loads(wire))
+        assert rebuilt.manifest() == manifest
+        assert rebuilt.intent_counts() == workload.intent_counts()
+        assert [q.qid for q in rebuilt.queries] == [
+            q.qid for q in workload.queries
+        ]
+
+    def test_version_bump_rejected_on_unpickle(self, workload, tmp_path):
+        from dataclasses import replace
+
+        from repro.errors import ScenarioError
+        from repro.scenarios import WORKLOAD_FORMAT_VERSION, Workload
+
+        stale = replace(workload, version=WORKLOAD_FORMAT_VERSION + 1)
+        path = tmp_path / "stale.pkl"
+        stale.to_pickle(path)
+        with pytest.raises(ScenarioError, match="format version"):
+            Workload.from_pickle(path)
+
+    def test_version_bump_rejected_on_manifest(self, workload):
+        from repro.errors import ScenarioError
+        from repro.scenarios import WORKLOAD_FORMAT_VERSION, Workload
+
+        manifest = workload.manifest()
+        manifest["format_version"] = WORKLOAD_FORMAT_VERSION + 1
+        with pytest.raises(ScenarioError, match="format version"):
+            Workload.from_manifest(manifest)
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        from repro.errors import ScenarioError
+        from repro.scenarios import Workload
+
+        path = tmp_path / "not_a_workload.pkl"
+        path.write_bytes(pickle.dumps({"surprise": True}, protocol=4))
+        with pytest.raises(ScenarioError):
+            Workload.from_pickle(path)

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for scenario augmentation.
+
+Three contracts protect the scenario pipeline's validity:
+
+- **structure preservation** — noise and paraphrase act through
+  ``replace_node``/``replace_edge`` only, so node/edge counts, labels
+  and edge wiring (arity, segment count) never change; an augmented
+  query is always still a valid query over the same shape;
+- **seed idempotence** — the same ``(input, seed)`` pair always yields
+  the same output, byte for byte through the manifest encoding, so a
+  frozen workload artifact can be regenerated exactly;
+- **budget compliance** — :func:`augment_queries` never touches more
+  queries per stage than the declared :class:`AugmentationBudget`
+  allows, and paraphrases stay inside the declared ``top_n`` /
+  ``min_similarity`` neighbourhood.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding.oracle import oracle_predicate_space
+from repro.errors import ScenarioError
+from repro.kg.schema import preset_schema
+from repro.query.noise import add_node_noise
+from repro.query.transform import TransformationLibrary
+from repro.scenarios import (
+    INTENT_NAMES,
+    AugmentationBudget,
+    augment_queries,
+    generate_intent_queries,
+    paraphrase_predicate,
+)
+from repro.scenarios.suite import query_to_json
+from repro.scenarios.vocab import DomainVocabulary
+
+SCHEMA = preset_schema("dbpedia")
+VOCAB = DomainVocabulary.from_schema("dbpedia", SCHEMA)
+SPACE = oracle_predicate_space(SCHEMA, seed=3)
+LIBRARY = TransformationLibrary.from_schema(SCHEMA)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+intents = st.sampled_from(INTENT_NAMES)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+def _query_for(intent, seed):
+    return generate_intent_queries(VOCAB, intent, 1, seed=seed)[0]
+
+
+def _shape(query):
+    """Everything augmentation must preserve: labels, wiring, counts."""
+    return (
+        sorted(n.label for n in query.nodes()),
+        [(e.label, e.source, e.target) for e in query.edges()],
+    )
+
+
+class TestStructurePreservation:
+    @given(intent=intents, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_paraphrase_never_changes_shape(self, intent, seed):
+        query = _query_for(intent, seed)
+        out = paraphrase_predicate(query, SPACE, seed=seed, top_n=5)
+        assert _shape(out) == _shape(query)
+        # Node identity is untouched entirely — only a predicate moved.
+        assert query_to_json(out)["nodes"] == query_to_json(query)["nodes"]
+
+    @given(intent=intents, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_node_noise_never_changes_shape(self, intent, seed):
+        query = _query_for(intent, seed)
+        out = add_node_noise(query, LIBRARY, seed=seed)
+        assert _shape(out) == _shape(query)
+        # Edge wiring and predicates are untouched — only a node moved.
+        assert query_to_json(out)["edges"] == query_to_json(query)["edges"]
+
+    @given(intent=intents, seed=seeds, fraction=fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_never_changes_shape(self, intent, seed, fraction):
+        queries = generate_intent_queries(VOCAB, intent, 4, seed=seed)
+        budget = AugmentationBudget(
+            paraphrase_fraction=fraction, node_noise_fraction=fraction
+        )
+        out = augment_queries(
+            queries, budget=budget, space=SPACE, library=LIBRARY, seed=seed
+        )
+        assert len(out) == len(queries)
+        for original, (augmented, _tags) in zip(queries, out):
+            assert _shape(augmented) == _shape(original)
+
+
+class TestSeedIdempotence:
+    @given(intent=intents, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_paraphrase_replays_identically(self, intent, seed):
+        query = _query_for(intent, seed)
+        first = paraphrase_predicate(query, SPACE, seed=seed)
+        second = paraphrase_predicate(query, SPACE, seed=seed)
+        assert query_to_json(first) == query_to_json(second)
+
+    @given(intent=intents, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_node_noise_replays_identically(self, intent, seed):
+        query = _query_for(intent, seed)
+        first = add_node_noise(query, LIBRARY, seed=seed)
+        second = add_node_noise(query, LIBRARY, seed=seed)
+        assert query_to_json(first) == query_to_json(second)
+
+    @given(intent=intents, seed=seeds, fraction=fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_replays_identically(self, intent, seed, fraction):
+        queries = generate_intent_queries(VOCAB, intent, 4, seed=seed)
+        budget = AugmentationBudget(
+            paraphrase_fraction=fraction, node_noise_fraction=fraction
+        )
+        runs = [
+            augment_queries(
+                queries, budget=budget, space=SPACE, library=LIBRARY,
+                seed=seed,
+            )
+            for _ in range(2)
+        ]
+        first = [(query_to_json(q), tags) for q, tags in runs[0]]
+        second = [(query_to_json(q), tags) for q, tags in runs[1]]
+        assert first == second
+
+
+class TestBudgetCompliance:
+    @given(seed=seeds, fraction=fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_stage_touch_counts_bounded_by_budget(self, seed, fraction):
+        queries = generate_intent_queries(VOCAB, "star", 8, seed=seed)
+        budget = AugmentationBudget(
+            paraphrase_fraction=fraction, node_noise_fraction=fraction
+        )
+        out = augment_queries(
+            queries, budget=budget, space=SPACE, library=LIBRARY, seed=seed
+        )
+        ceiling = round(fraction * len(queries))
+        tags = [t for _q, t in out]
+        assert sum("paraphrase" in t for t in tags) <= ceiling
+        assert sum("node-noise" in t for t in tags) <= ceiling
+        # Untouched queries come back as the same objects, unperturbed.
+        for original, (augmented, tag) in zip(queries, out):
+            if not tag:
+                assert augmented is original
+
+    @given(intent=intents, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_paraphrase_stays_in_declared_neighbourhood(self, intent, seed):
+        query = _query_for(intent, seed)
+        top_n, floor = 3, 0.6
+        out = paraphrase_predicate(
+            query, SPACE, seed=seed, top_n=top_n, min_similarity=floor
+        )
+        before = {e.label: e.predicate for e in query.edges()}
+        for edge in out.edges():
+            if edge.predicate == before[edge.label]:
+                continue
+            neighbours = dict(SPACE.top_similar(before[edge.label], top_n))
+            assert edge.predicate in neighbours
+            assert neighbours[edge.predicate] >= floor
+
+    @given(intent=intents, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_impossible_similarity_floor_leaves_query_untouched(
+        self, intent, seed
+    ):
+        query = _query_for(intent, seed)
+        out = paraphrase_predicate(query, SPACE, seed=seed, min_similarity=1.0)
+        assert out is query
+
+    def test_budget_validation(self):
+        with pytest.raises(ScenarioError):
+            AugmentationBudget(paraphrase_fraction=1.5)
+        with pytest.raises(ScenarioError):
+            AugmentationBudget(node_noise_fraction=-0.1)
+        with pytest.raises(ScenarioError):
+            AugmentationBudget(top_n=0)
+        with pytest.raises(ScenarioError):
+            AugmentationBudget(min_similarity=2.0)
+
+    def test_missing_resources_rejected(self):
+        queries = [_query_for("star", 0)]
+        with pytest.raises(ScenarioError):
+            augment_queries(
+                queries,
+                budget=AugmentationBudget(paraphrase_fraction=0.5),
+                seed=0,
+            )
+        with pytest.raises(ScenarioError):
+            augment_queries(
+                queries,
+                budget=AugmentationBudget(node_noise_fraction=0.5),
+                seed=0,
+            )

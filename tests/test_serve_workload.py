@@ -1,5 +1,7 @@
 """Tests for the workload replay driver (repro.serve.workload)."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.errors import ServeError
@@ -413,3 +415,44 @@ class TestConsoleEntrypoint:
             rate=None,
         )
         assert "weight cache" not in report.describe()
+
+
+class TestScenarioEntrypoint:
+    """``--scenario`` replays a frozen artifact deterministically."""
+
+    ARTIFACT = str(
+        Path(__file__).resolve().parent.parent
+        / "benchmarks" / "scenarios" / "held_out_v1.pkl"
+    )
+
+    def test_scenario_replay_prints_identical_digests(self, capsys):
+        code = workload_main(
+            ["--scenario", self.ARTIFACT, "--repeats", "2",
+             "--view", "compact", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "intent mix: star=2, chain=2" in out
+        assert "deadline mix: 20%" in out
+        digests = [
+            line for line in out.splitlines()
+            if line.startswith("exact-match digest: sha256:")
+        ]
+        assert len(digests) == 2
+        assert digests[0] == digests[1]
+        assert "(8 exact queries)" in digests[0]
+        assert "replay: 10 completed, 0 failed" in out
+
+    def test_scenario_rejects_conflicting_flags(self):
+        for conflict in (
+            ["--rate", "50"],
+            ["--arrival", "poisson", "--rate", "10"],
+            ["--deadline", "0.1"],
+            ["--tbq-fraction", "0.5", "--deadline", "0.1"],
+        ):
+            with pytest.raises(SystemExit):
+                workload_main(["--scenario", self.ARTIFACT] + conflict)
+
+    def test_scenario_rejects_missing_artifact(self):
+        with pytest.raises(SystemExit):
+            workload_main(["--scenario", "nope/missing.pkl"])
