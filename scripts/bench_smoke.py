@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI smoke gate for the kernels and the execution-backend seam.
 
-Runs four result-equivalence gates on small fixed workloads and exits
+Runs six result-equivalence gates on small fixed workloads and exits
 non-zero **only** on a mismatch — the one property CI can judge on shared
 runners.  Timing numbers are recorded in the artifacts but never gate the
 build (CI machines are too noisy for that; the full-scale benches in
@@ -16,16 +16,21 @@ build (CI machines are too noisy for that; the full-scale benches in
    every workload query drained under both visited policies, plus one
    end-to-end engine query) →
    ``benchmarks/results/BENCH_astar_kernel.json``;
-4. inline vs thread vs process serving backends
+4. inline vs thread vs process vs process-shm serving backends
    (``repro.bench.parallelbench``: the workload replayed twice per
    backend on a 2-worker pool, process workers bootstrapped from the
-   pickled EngineSpec) →
+   pickled EngineSpec — by value and by shared-memory graph handle) →
    ``benchmarks/results/BENCH_parallel_serving.json``;
 5. the held-out scenario suite (``repro.scenarios``: the checked-in
    ``benchmarks/scenarios/held_out_v1.pkl`` workload replayed against
    its recorded golden answers — exact-query result-set equivalence
    plus per-intent p95 latency within the artifact's declared budget) →
-   ``benchmarks/results/BENCH_scenarios.json``.
+   ``benchmarks/results/BENCH_scenarios.json``;
+6. the shared-memory graph gate (``compare_shared_graph``: process
+   backend with the graph shipped by value vs attached zero-copy from
+   shared memory — bit-identical to inline, spec pickle reduced >= 10x,
+   no ``/dev/shm`` segment leaked) →
+   ``benchmarks/results/BENCH_shared_graph.json``.
 
 Usage::
 
@@ -52,7 +57,10 @@ from repro.bench.assemblybench import (  # noqa: E402
 )
 from repro.bench.compactbench import compare_kernels  # noqa: E402
 from repro.bench.datasets import load_bundle  # noqa: E402
-from repro.bench.parallelbench import compare_backends  # noqa: E402
+from repro.bench.parallelbench import (  # noqa: E402
+    compare_backends,
+    compare_shared_graph,
+)
 from repro.bench.reporting import emit_json  # noqa: E402
 from repro.bench.searchbench import (  # noqa: E402
     compare_search_kernels,
@@ -169,7 +177,9 @@ def main(argv=None) -> int:
     print(
         f"backends: inline {backends.seconds['inline'] * 1000:.1f} ms, "
         f"thread {backends.seconds['thread'] * 1000:.1f} ms, "
-        f"process {backends.seconds['process'] * 1000:.1f} ms per pass "
+        f"process {backends.seconds['process'] * 1000:.1f} ms, "
+        f"process-shm {backends.seconds['process-shm'] * 1000:.1f} ms "
+        f"per pass "
         f"(process/thread {backends.process_speedup_vs_thread:.2f}x, "
         f"informational on {backends.cpu_count} core(s); "
         f"warmup {backends.process_warmup_seconds * 1000:.0f} ms, "
@@ -179,7 +189,8 @@ def main(argv=None) -> int:
     if backends.equivalent:
         print(
             f"backend equivalence OK on all {backends.num_queries} queries "
-            f"x {backends.passes} passes x (inline, thread, process)"
+            f"x {backends.passes} passes x (inline, thread, process, "
+            f"process-shm)"
         )
     else:
         failed = True
@@ -224,6 +235,41 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             for problem in gate.budget_violations[:10]:
                 print(f"  {problem}", file=sys.stderr)
+
+    # -- gate 6: shared-memory graph (zero-copy worker attach) ------------
+    shared = compare_shared_graph(bundle, k=args.k, workers=2,
+                                  passes=args.passes)
+    path = emit_json("BENCH_shared_graph", shared.to_json())
+    print(
+        f"shared graph: spec pickle {shared.spec_bytes_arrays} B (arrays) "
+        f"-> {shared.spec_bytes_handle} B (handle), "
+        f"{shared.spec_pickle_reduction:.1f}x reduction; warmup "
+        f"{shared.warmup_seconds_arrays * 1000:.0f} -> "
+        f"{shared.warmup_seconds_handle * 1000:.0f} ms "
+        f"({shared.workers_warmed_handle} workers)"
+    )
+    print(f"report: {path}")
+    if shared.passed:
+        print(
+            f"shared-graph gate OK: bit-identical on all "
+            f"{shared.num_queries} queries x {shared.passes} passes, "
+            f"spec pickle reduced {shared.spec_pickle_reduction:.1f}x "
+            f"(>= 10x), no leaked shm segments"
+        )
+    else:
+        failed = True
+        if not shared.equivalent:
+            print("RESULT MISMATCH on the shared-memory graph path:",
+                  file=sys.stderr)
+            for problem in shared.mismatches[:10]:
+                print(f"  {problem}", file=sys.stderr)
+        if shared.spec_pickle_reduction < 10.0:
+            print(
+                f"SPEC PICKLE REDUCTION {shared.spec_pickle_reduction:.1f}x "
+                "is below the 10x bar", file=sys.stderr,
+            )
+        if shared.leaked:
+            print(f"LEAKED SHM SEGMENTS: {shared.leaked}", file=sys.stderr)
 
     return 1 if failed else 0
 

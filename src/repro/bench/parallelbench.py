@@ -31,17 +31,28 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.datasets import DatasetBundle
 from repro.bench.equivalence import final_matches_differ, search_stats_differ
 from repro.core.results import QueryResult
+from repro.kg.shm import leaked_segments
 from repro.serve.service import QueryService
 from repro.utils.timing import Stopwatch
 
-#: Backends compared against the inline reference.
-COMPARED_BACKENDS = ("thread", "process")
+#: Backends compared against the inline reference.  ``process-shm`` is
+#: the process backend with ``shared_graph=True`` — workers attach the
+#: frozen CSR graph from shared memory instead of unpickling it.
+COMPARED_BACKENDS = ("thread", "process", "process-shm")
+
+
+def _service_kwargs(backend: str) -> Dict[str, object]:
+    """Map a comparison label to ``QueryService.build`` arguments."""
+    if backend == "process-shm":
+        return {"backend": "process", "shared_graph": True}
+    return {"backend": backend}
 
 
 def multicore_speedup_gate(
@@ -87,6 +98,14 @@ class BackendComparison:
     pass_seconds: Dict[str, List[float]] = field(default_factory=dict)
     process_warmup_seconds: float = 0.0
     process_workers_warmed: int = 0
+    #: pool-backend name -> total warmup wall seconds / workers warmed.
+    warmup_seconds: Dict[str, float] = field(default_factory=dict)
+    workers_warmed: Dict[str, int] = field(default_factory=dict)
+    #: backend name -> bytes of the EngineSpec pickle shipped per worker
+    #: (the quantity shared memory shrinks from O(graph) to O(metadata)).
+    spec_pickle_bytes: Dict[str, int] = field(default_factory=dict)
+    #: backend name -> worker id -> peak RSS in KiB.
+    worker_rss_kb: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def qps(self, backend: str) -> float:
         seconds = self.seconds.get(backend, 0.0)
@@ -118,6 +137,12 @@ class BackendComparison:
             "process_speedup_vs_thread": self.process_speedup_vs_thread,
             "process_warmup_seconds": self.process_warmup_seconds,
             "process_workers_warmed": self.process_workers_warmed,
+            "warmup_seconds": dict(self.warmup_seconds),
+            "workers_warmed": dict(self.workers_warmed),
+            "spec_pickle_bytes": dict(self.spec_pickle_bytes),
+            "worker_rss_kb": {
+                name: dict(rows) for name, rows in self.worker_rss_kb.items()
+            },
         }
 
 
@@ -198,12 +223,8 @@ def compare_backends(
     )
 
     def build_service(backend: str) -> QueryService:
-        kwargs = dict(
-            backend=backend,
-            workers=workers,
-            compact=compact,
-        )
-        if backend == "process" and start_method is not None:
+        kwargs = dict(_service_kwargs(backend), workers=workers, compact=compact)
+        if kwargs["backend"] == "process" and start_method is not None:
             kwargs["start_method"] = start_method
         return QueryService.build(
             bundle.kg, bundle.space, bundle.library, **kwargs
@@ -211,6 +232,10 @@ def compare_backends(
 
     with build_service("inline") as service:
         reference_passes, seconds = _run_passes(service, queries, k, passes)
+        comparison.worker_rss_kb["inline"] = {
+            row.worker_id: row.max_rss_kb
+            for row in service.worker_snapshots()
+        }
     comparison.pass_seconds["inline"] = seconds
     comparison.seconds["inline"] = min(seconds)
     reference = reference_passes[0]
@@ -224,11 +249,25 @@ def compare_backends(
 
     for backend in COMPARED_BACKENDS:
         with build_service(backend) as service:
-            if backend == "process":
+            if service.spec is not None:
+                comparison.spec_pickle_bytes[backend] = len(
+                    pickle.dumps(service.spec)
+                )
+            if backend.startswith("process"):
                 watch = Stopwatch()
-                comparison.process_workers_warmed = service.warmup()
-                comparison.process_warmup_seconds = watch.elapsed()
+                warmed = service.warmup()
+                comparison.workers_warmed[backend] = warmed
+                comparison.warmup_seconds[backend] = watch.elapsed()
+                if backend == "process":
+                    comparison.process_workers_warmed = warmed
+                    comparison.process_warmup_seconds = (
+                        comparison.warmup_seconds[backend]
+                    )
             backend_passes, seconds = _run_passes(service, queries, k, passes)
+            comparison.worker_rss_kb[backend] = {
+                row.worker_id: row.max_rss_kb
+                for row in service.worker_snapshots()
+            }
         comparison.pass_seconds[backend] = seconds
         comparison.seconds[backend] = min(seconds)
         for run, results in enumerate(backend_passes, start=1):
@@ -241,3 +280,173 @@ def compare_backends(
 
     comparison.equivalent = not comparison.mismatches
     return comparison
+
+
+# ----------------------------------------------------------------------
+# shared-memory graph gate
+# ----------------------------------------------------------------------
+
+#: The acceptance bar: the handle-carrying spec must be at least this
+#: many times smaller than the array-carrying one.
+MIN_SPEC_PICKLE_REDUCTION = 10.0
+
+
+@dataclass
+class SharedGraphReport:
+    """What the shared-graph gate measured and judged.
+
+    Three claims, one report: (1) the shm-backed process backend returns
+    results bit-identical to the inline reference; (2) the spec pickle a
+    worker receives shrinks by >= ``MIN_SPEC_PICKLE_REDUCTION`` when the
+    graph travels by shared-memory handle instead of by value; (3) no
+    ``/dev/shm`` segment outlives the services that created it.
+    """
+
+    workers: int
+    passes: int
+    num_queries: int
+    k: int
+    cpu_count: int
+    start_method: str
+    equivalent: bool = True
+    mismatches: List[str] = field(default_factory=list)
+    #: EngineSpec pickle bytes: graph by value vs by shm handle.
+    spec_bytes_arrays: int = 0
+    spec_bytes_handle: int = 0
+    #: Pool warmup (worker engines built): arrays-shipped vs shm-attached.
+    warmup_seconds_arrays: float = 0.0
+    warmup_seconds_handle: float = 0.0
+    workers_warmed_arrays: int = 0
+    workers_warmed_handle: int = 0
+    #: Per-worker peak RSS (KiB) under each shipping mode.
+    worker_rss_kb_arrays: Dict[str, int] = field(default_factory=dict)
+    worker_rss_kb_handle: Dict[str, int] = field(default_factory=dict)
+    leaked: List[str] = field(default_factory=list)
+
+    @property
+    def spec_pickle_reduction(self) -> float:
+        if self.spec_bytes_handle <= 0:
+            return 0.0
+        return self.spec_bytes_arrays / self.spec_bytes_handle
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.equivalent
+            and self.spec_pickle_reduction >= MIN_SPEC_PICKLE_REDUCTION
+            and not self.leaked
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "workers": self.workers,
+            "passes": self.passes,
+            "num_queries": self.num_queries,
+            "k": self.k,
+            "cpu_count": self.cpu_count,
+            "start_method": self.start_method,
+            "equivalent": self.equivalent,
+            "mismatches": list(self.mismatches),
+            "spec_bytes_arrays": self.spec_bytes_arrays,
+            "spec_bytes_handle": self.spec_bytes_handle,
+            "spec_pickle_reduction": self.spec_pickle_reduction,
+            "min_spec_pickle_reduction": MIN_SPEC_PICKLE_REDUCTION,
+            "warmup_seconds_arrays": self.warmup_seconds_arrays,
+            "warmup_seconds_handle": self.warmup_seconds_handle,
+            "workers_warmed_arrays": self.workers_warmed_arrays,
+            "workers_warmed_handle": self.workers_warmed_handle,
+            "warmup_seconds_per_worker_arrays": (
+                self.warmup_seconds_arrays / self.workers_warmed_arrays
+                if self.workers_warmed_arrays
+                else 0.0
+            ),
+            "warmup_seconds_per_worker_handle": (
+                self.warmup_seconds_handle / self.workers_warmed_handle
+                if self.workers_warmed_handle
+                else 0.0
+            ),
+            "worker_rss_kb_arrays": dict(self.worker_rss_kb_arrays),
+            "worker_rss_kb_handle": dict(self.worker_rss_kb_handle),
+            "leaked_segments": list(self.leaked),
+            "passed": self.passed,
+        }
+
+
+def compare_shared_graph(
+    bundle: DatasetBundle,
+    *,
+    k: int = 10,
+    workers: int = 2,
+    passes: int = 2,
+    qids: Optional[Sequence[str]] = None,
+) -> SharedGraphReport:
+    """Judge the shared-memory graph path against the acceptance bar.
+
+    Runs the inline reference, then the process backend twice — graph
+    shipped by value (the PR 5 baseline) and by shared-memory handle —
+    asserting bit-identical results, measuring spec-pickle bytes and
+    warmup per mode, and scanning ``/dev/shm`` for leaks after both
+    services are closed.
+    """
+    workload = bundle.workload
+    if qids is not None:
+        wanted = set(qids)
+        workload = [q for q in workload if q.qid in wanted]
+    queries = [q.query for q in workload]
+    labels = [q.qid for q in workload]
+
+    report = SharedGraphReport(
+        workers=workers,
+        passes=passes,
+        num_queries=len(queries),
+        k=k,
+        cpu_count=os.cpu_count() or 1,
+        start_method=multiprocessing.get_start_method(),
+    )
+
+    with QueryService.build(
+        bundle.kg, bundle.space, bundle.library, backend="inline", compact=True
+    ) as service:
+        reference = service.search_many(queries, k=k)
+
+    for mode, shared in (("arrays", False), ("handle", True)):
+        with QueryService.build(
+            bundle.kg,
+            bundle.space,
+            bundle.library,
+            backend="process",
+            workers=workers,
+            compact=True,
+            shared_graph=shared,
+        ) as service:
+            assert service.spec is not None
+            spec_bytes = len(pickle.dumps(service.spec))
+            watch = Stopwatch()
+            warmed = service.warmup()
+            warmup = watch.elapsed()
+            for run in range(1, passes + 1):
+                results = service.search_many(queries, k=k)
+                for label, expected, actual in zip(labels, reference, results):
+                    problem = _results_differ(
+                        f"process-{mode}-pass{run}:{label}", expected, actual
+                    )
+                    if problem is not None:
+                        report.mismatches.append(problem)
+            rss = {
+                row.worker_id: row.max_rss_kb
+                for row in service.worker_snapshots()
+            }
+        if shared:
+            report.spec_bytes_handle = spec_bytes
+            report.warmup_seconds_handle = warmup
+            report.workers_warmed_handle = warmed
+            report.worker_rss_kb_handle = rss
+        else:
+            report.spec_bytes_arrays = spec_bytes
+            report.warmup_seconds_arrays = warmup
+            report.workers_warmed_arrays = warmed
+            report.worker_rss_kb_arrays = rss
+
+    report.equivalent = not report.mismatches
+    report.leaked = leaked_segments()
+    return report

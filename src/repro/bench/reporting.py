@@ -70,11 +70,23 @@ def results_dir() -> Path:
     return path
 
 
+def logs_dir() -> Path:
+    """``benchmarks/results/logs`` — human-readable, git-ignored output.
+
+    Kept apart from the machine-readable ``BENCH_*.json`` artifacts (the
+    only files force-added from the ignored results tree), so a bench run
+    can never leave a stray text log looking like a tracked artifact.
+    """
+    path = results_dir() / "logs"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 def emit(name: str, text: str) -> None:
-    """Print a report block and persist it under benchmarks/results/."""
+    """Print a report block and persist it under benchmarks/results/logs/."""
     print()
     print(text)
-    target = results_dir() / f"{name}.txt"
+    target = logs_dir() / f"{name}.txt"
     with target.open("w", encoding="utf-8") as handle:
         handle.write(text + "\n")
 

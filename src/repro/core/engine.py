@@ -31,7 +31,11 @@ from repro.core.semantic_graph import SemanticGraphView, WeightCache, WeightedGr
 from repro.core.time_bounded import TimeBoundedCoordinator
 from repro.embedding.predicate_space import PredicateSpace
 from repro.errors import SearchError
-from repro.kg.compact import CompactGraph
+from repro.kg.compact import (
+    CompactGraph,
+    CompactGraphHandle,
+    CompactKnowledgeGraph,
+)
 from repro.kg.graph import KnowledgeGraph
 from repro.query.decompose import Decomposition, decompose_query
 from repro.query.model import QueryGraph
@@ -81,12 +85,24 @@ class EngineSpec:
     source-graph reference is dropped (``CompactGraph.__setstate__``) and
     the view factory keeps it as long as its counts still match ``kg``.
 
+    ``graph_handle`` is the zero-copy alternative: a
+    :class:`~repro.kg.compact.CompactGraphHandle` naming a shared-memory
+    segment published by the service process
+    (``QueryService.build(shared_graph=True)``).  A spec carrying a
+    handle may drop ``kg`` entirely — workers attach the segment and
+    serve the graph API through a
+    :class:`~repro.kg.compact.CompactKnowledgeGraph` facade, so the spec
+    pickle is O(metadata) instead of O(graph).  ``compact_graph`` and
+    ``graph_handle`` are mutually exclusive (arrays by value vs by
+    reference).
+
     Everything here must stay picklable: ``KnowledgeGraph`` is plain
     dataclasses and dicts, ``PredicateSpace`` drops its lock on pickle,
-    ``CompactGraph`` ships only its numeric tables.
+    ``CompactGraph`` ships only its numeric tables, and a handle ships
+    only segment names and column manifests.
     """
 
-    kg: KnowledgeGraph
+    kg: Optional[KnowledgeGraph]
     space: PredicateSpace
     library: Optional[TransformationLibrary] = None
     config: Optional[SearchConfig] = None
@@ -94,6 +110,7 @@ class EngineSpec:
     assembly_kernel: str = "vectorized"
     search_kernel: str = "auto"
     compact_graph: Optional[CompactGraph] = None
+    graph_handle: Optional[CompactGraphHandle] = None
 
     def __post_init__(self) -> None:
         if self.assembly_kernel not in ASSEMBLY_KERNELS:
@@ -108,6 +125,18 @@ class EngineSpec:
             )
         if self.compact_graph is not None and not self.compact:
             raise SearchError("compact_graph requires compact=True")
+        if self.graph_handle is not None and not self.compact:
+            raise SearchError("graph_handle requires compact=True")
+        if self.graph_handle is not None and self.compact_graph is not None:
+            raise SearchError(
+                "pass either compact_graph (arrays by value) or "
+                "graph_handle (arrays by shared-memory reference), not both"
+            )
+        if self.kg is None and self.graph_handle is None:
+            raise SearchError(
+                "a spec without kg needs a graph_handle to rebuild the "
+                "graph surface from"
+            )
         if self.search_kernel == "vectorized" and not self.compact:
             raise SearchError(
                 "search_kernel='vectorized' needs compact views; set "
@@ -130,9 +159,27 @@ def build_engine(
     private cache here.  When the spec carries a pre-frozen
     ``compact_graph`` the engine is wired through a
     :class:`~repro.core.compact_view.CompactViewFactory` holding that
-    snapshot instead of re-freezing.
+    snapshot instead of re-freezing.  When it carries a ``graph_handle``
+    the kernel is *attached* from shared memory (zero-copy, O(metadata))
+    and — absent an explicit ``kg`` — the graph API is served by a
+    :class:`~repro.kg.compact.CompactKnowledgeGraph` facade over the
+    shared columns.
     """
-    if spec.compact and spec.compact_graph is not None:
+    if spec.graph_handle is not None:
+        attached = CompactGraph.from_handle(spec.graph_handle)
+        kg = spec.kg if spec.kg is not None else CompactKnowledgeGraph(attached)
+        engine = SemanticGraphQueryEngine(
+            kg,
+            spec.space,
+            spec.library,
+            spec.config,
+            weight_cache=weight_cache,
+            view_factory=CompactViewFactory(attached),
+            assembly_kernel=spec.assembly_kernel,
+            search_kernel=spec.search_kernel,
+        )
+        engine._compact = True
+    elif spec.compact and spec.compact_graph is not None:
         engine = SemanticGraphQueryEngine(
             spec.kg,
             spec.space,
@@ -267,6 +314,7 @@ class SemanticGraphQueryEngine:
             if (
                 spec.compact
                 and spec.compact_graph is None
+                and spec.graph_handle is None
                 and isinstance(self.view_factory, CompactViewFactory)
                 and self.view_factory.frozen_graph is not None
             ):

@@ -19,6 +19,7 @@ Matching is the paper's three-case relation φ:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -126,6 +127,14 @@ class NodeMatcher:
 
     Results are memoised per query node signature; the same query node is
     looked up by decomposition, by every sub-query search and by assembly.
+
+    Thread safety: a matcher is shared by every worker of the ``thread``
+    backend.  All memo *writes* and lazy index builds take ``_lock``;
+    reads are deliberately lock-free ``dict.get`` probes.  On a GIL build
+    each probe is atomic, and on free-threaded 3.13 builds per-object
+    dict locking keeps a get/set pair memory-safe — the only race left
+    is two threads computing the same pure-function verdict, where the
+    last write wins with an identical value.
     """
 
     # Entry cap on the per-(node signature, uid) verdict memo; reached
@@ -135,6 +144,7 @@ class NodeMatcher:
     def __init__(self, kg: KnowledgeGraph, library: Optional[TransformationLibrary] = None):
         self.kg = kg
         self.library = library if library is not None else TransformationLibrary.empty()
+        self._lock = threading.Lock()
         self._cache: Dict[Tuple[Optional[str], Optional[str]], List[int]] = {}
         # (name, etype, uid) -> φ-match verdict (see is_match).
         self._is_match_cache: Dict[Tuple[Optional[str], Optional[str], int], bool] = {}
@@ -144,19 +154,27 @@ class NodeMatcher:
 
     def _normalized_name_index(self) -> Dict[str, List[int]]:
         if self._name_index is None:
-            index: Dict[str, List[int]] = {}
-            for entity in self.kg.entities():
-                index.setdefault(normalize_label(entity.name), []).append(entity.uid)
-            self._name_index = index
+            with self._lock:
+                if self._name_index is None:
+                    index: Dict[str, List[int]] = {}
+                    for entity in self.kg.entities():
+                        index.setdefault(
+                            normalize_label(entity.name), []
+                        ).append(entity.uid)
+                    self._name_index = index
         return self._name_index
 
     def _types_by_canonical(self) -> Dict[str, List[str]]:
         if self._type_index is None:
-            index: Dict[str, List[str]] = {}
-            for etype in self.kg.types():
-                canon, _ = self.library._canonicalize(self.library._types, etype)
-                index.setdefault(canon, []).append(etype)
-            self._type_index = index
+            with self._lock:
+                if self._type_index is None:
+                    index: Dict[str, List[str]] = {}
+                    for etype in self.kg.types():
+                        canon, _ = self.library._canonicalize(
+                            self.library._types, etype
+                        )
+                        index.setdefault(canon, []).append(etype)
+                    self._type_index = index
         return self._type_index
 
     # ------------------------------------------------------------------
@@ -192,7 +210,8 @@ class NodeMatcher:
         else:
             result = [entity.uid for entity in self.kg.entities()]
 
-        self._cache[key] = result
+        with self._lock:
+            self._cache[key] = result
         return list(result)
 
     def _surface_names(self, query_name: str) -> List[str]:
@@ -228,13 +247,14 @@ class NodeMatcher:
         if cached is not None:
             return cached
         verdict = self._is_match_uncached(node, uid)
-        if len(self._is_match_cache) >= self._IS_MATCH_CACHE_MAX:
-            # Crude bound for long-lived matchers serving diverse
-            # workloads: drop everything rather than track recency — the
-            # memo refills in one query and correctness never depends on
-            # it.
-            self._is_match_cache.clear()
-        self._is_match_cache[key] = verdict
+        with self._lock:
+            if len(self._is_match_cache) >= self._IS_MATCH_CACHE_MAX:
+                # Crude bound for long-lived matchers serving diverse
+                # workloads: drop everything rather than track recency —
+                # the memo refills in one query and correctness never
+                # depends on it.
+                self._is_match_cache.clear()
+            self._is_match_cache[key] = verdict
         return verdict
 
     def _is_match_uncached(self, node: QueryNode, uid: int) -> bool:

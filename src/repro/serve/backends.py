@@ -57,7 +57,23 @@ from repro.errors import ServeError
 from repro.query.decompose import Decomposition
 from repro.serve.cache import CacheStats, LruMap, SemanticGraphCache
 
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    _resource = None
+
 EXECUTION_BACKENDS = ("inline", "thread", "process")
+
+
+def _max_rss_kb() -> int:
+    """Peak RSS of the calling process in KiB (0 where unsupported).
+
+    ``ru_maxrss`` is KiB on Linux; per-worker rows make the shared-graph
+    memory win measurable (N private graph copies vs one mapped segment).
+    """
+    if _resource is None:
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
 
 # A deadline that has already elapsed in the queue still gets a sliver of
 # search budget: the TBQ coordinator needs a positive bound, and a
@@ -72,7 +88,9 @@ class WorkerSnapshot:
     ``worker_id`` is ``"shared"`` for the shared-memory backends (one
     row for the whole pool) and the worker pid for process workers.
     Counters are monotonic over the worker's lifetime; consumers diff
-    against a baseline to report per-phase rates.
+    against a baseline to report per-phase rates.  ``max_rss_kb`` is a
+    gauge — the reporting process's peak RSS when the snapshot was taken
+    — so memory can be compared per worker across backends.
     """
 
     worker_id: str
@@ -81,6 +99,7 @@ class WorkerSnapshot:
     space: SpaceCacheStats
     memo_hits: int
     memo_misses: int
+    max_rss_kb: int = 0
 
 
 def execute_request(
@@ -196,6 +215,7 @@ class _EngineRunner:
             space=self.engine.space.stats(),
             memo_hits=memo_hits,
             memo_misses=memo_misses,
+            max_rss_kb=_max_rss_kb(),
         )
 
 
@@ -547,6 +567,9 @@ def aggregate_snapshots(
             space=space,
             memo_hits=total.memo_hits + row.memo_hits,
             memo_misses=total.memo_misses + row.memo_misses,
+            # Summed like the cache gauges: "how much memory does the
+            # pool hold overall" is the question the aggregate answers.
+            max_rss_kb=total.max_rss_kb + row.max_rss_kb,
         )
     if len(snapshots) == 1:
         total = replace(total, worker_id=snapshots[0].worker_id)
@@ -589,4 +612,5 @@ def diff_snapshots(
         space=space,
         memo_hits=current.memo_hits - baseline.memo_hits,
         memo_misses=current.memo_misses - baseline.memo_misses,
+        max_rss_kb=current.max_rss_kb,  # gauge: describes now
     )

@@ -49,6 +49,7 @@ from repro.core.engine import EngineSpec, SemanticGraphQueryEngine, build_engine
 from repro.core.results import QueryResult
 from repro.embedding.predicate_space import PredicateSpace, SpaceCacheStats
 from repro.errors import ServeError
+from repro.kg.compact import CompactGraph, SharedCompactGraph
 from repro.kg.graph import KnowledgeGraph
 from repro.query.model import QueryGraph
 from repro.query.transform import TransformationLibrary
@@ -191,6 +192,31 @@ def query_shape_key(
     return (nodes, edges, pivot or "", strategy)
 
 
+def _share_graph(spec: EngineSpec) -> Tuple[EngineSpec, SharedCompactGraph]:
+    """Rewrite a compact spec to ship its graph by shared-memory reference.
+
+    Freezes the CSR kernel if the spec does not already carry one,
+    publishes its columns into one segment, and returns the worker-bound
+    spec — ``kg`` and ``compact_graph`` dropped, ``graph_handle`` set, so
+    its pickle is O(metadata) — together with the owning lease the caller
+    must keep alive while workers are attached and close afterwards.
+    """
+    if not spec.compact:
+        raise ServeError(
+            "shared_graph needs the compact CSR kernel; build the service "
+            "with compact=True (--view compact)"
+        )
+    compact_graph = spec.compact_graph
+    if compact_graph is None:
+        assert spec.kg is not None
+        compact_graph = CompactGraph.freeze(spec.kg)
+    lease = compact_graph.to_shared()
+    shared_spec = replace(
+        spec, kg=None, compact_graph=None, graph_handle=lease.handle
+    )
+    return shared_spec, lease
+
+
 class QueryService:
     """Concurrent, cache-backed front-end over one query engine.
 
@@ -215,6 +241,15 @@ class QueryService:
         max_memoized: LRU bound on the decomposition memo.
         start_method: multiprocessing start method for the process
             backend (``None`` = platform default).
+        shared_graph: process backend only — publish the frozen
+            :class:`~repro.kg.compact.CompactGraph` into one shared-memory
+            segment and ship workers a
+            :class:`~repro.kg.compact.CompactGraphHandle` instead of the
+            graph arrays.  Workers attach zero-copy (O(metadata) warmup,
+            one physical graph copy pool-wide); results stay bit-identical.
+            Requires a compact spec.  The service owns the segment: it is
+            unlinked on :meth:`close` (after the pool is down) and by a
+            finalizer if the owner crashes.
 
     Use as a context manager or call :meth:`close` to release the pool.
     """
@@ -231,6 +266,7 @@ class QueryService:
         memoize_decompositions: bool = True,
         max_memoized: int = 1024,
         start_method: Optional[str] = None,
+        shared_graph: bool = False,
     ):
         if backend not in EXECUTION_BACKENDS:
             raise ServeError(
@@ -245,6 +281,12 @@ class QueryService:
             raise ServeError(f"max_memoized must be at least 1, got {max_memoized}")
         if engine is None and spec is None:
             raise ServeError("QueryService needs an engine or an EngineSpec")
+        if shared_graph and backend != "process":
+            raise ServeError(
+                "shared_graph only applies to the process backend — "
+                "shared-memory backends already share the one in-process "
+                "graph"
+            )
 
         self.backend_name = backend
         self.workers = max_workers if backend != "inline" else 1
@@ -253,6 +295,7 @@ class QueryService:
         self._lock = threading.Lock()
         self._closed = False
         self._stats_baseline: Optional[WorkerSnapshot] = None
+        self._graph_lease: Optional[SharedCompactGraph] = None
 
         if backend == "process":
             if cache is not None:
@@ -264,17 +307,27 @@ class QueryService:
             if spec is None:
                 assert engine is not None
                 spec = engine.to_spec()  # raises on unpicklable setups
+            if shared_graph:
+                spec, self._graph_lease = _share_graph(spec)
             self.engine = engine
             self.cache = None
             self.spec: Optional[EngineSpec] = spec
-            self._backend: ExecutionBackend = ProcessBackend(
-                spec,
-                self.workers,
-                memoize_decompositions=memoize_decompositions,
-                max_memoized=max_memoized,
-                start_method=start_method,
-                on_complete=self._record_outcome,
-            )
+            try:
+                self._backend: ExecutionBackend = ProcessBackend(
+                    spec,
+                    self.workers,
+                    memoize_decompositions=memoize_decompositions,
+                    max_memoized=max_memoized,
+                    start_method=start_method,
+                    on_complete=self._record_outcome,
+                )
+            except BaseException:
+                # The pool never came up: nobody else will release the
+                # shared segment, so do it here rather than leak until
+                # the finalizer.
+                if self._graph_lease is not None:
+                    self._graph_lease.close()
+                raise
             return
 
         if engine is None:
@@ -328,7 +381,10 @@ class QueryService:
         pickle); ``assembly_kernel`` picks the TA assembly implementation
         and ``search_kernel`` the per-sub-query A* implementation;
         ``backend``/``workers`` pick the execution backend and pool size.
-        Exact results are identical under every combination.
+        ``shared_graph=True`` (process backend, with ``compact=True``)
+        publishes the frozen kernel into shared memory so workers attach
+        zero-copy instead of unpickling graph arrays.  Exact results are
+        identical under every combination.
         """
         if view_factory is not None:
             if backend == "process":
@@ -568,6 +624,17 @@ class QueryService:
         # backend.submit while it held the lock, so the backend never
         # sees a submit after shutdown.
         self._backend.close(wait=wait)
+        # Strictly after the pool is down: unlinking first would strand a
+        # worker that had not attached yet (workers attach lazily on
+        # their first task).  Workers that are already attached only hold
+        # mappings, which die with their processes.
+        if self._graph_lease is not None:
+            self._graph_lease.close()
+
+    @property
+    def graph_lease(self) -> Optional[SharedCompactGraph]:
+        """The shared-memory graph lease (``None`` unless shared_graph)."""
+        return self._graph_lease
 
     @property
     def closed(self) -> bool:

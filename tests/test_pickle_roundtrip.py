@@ -1,12 +1,14 @@
 """Pickle round-trips for everything that crosses the process boundary.
 
-The process backend's correctness rests on five types surviving
+The process backend's correctness rests on six types surviving
 ``pickle.loads(pickle.dumps(...))`` with their behaviour intact:
 :class:`~repro.core.engine.EngineSpec` (worker bootstrap),
 :class:`~repro.serve.service.QueryRequest` (task submission),
 :class:`~repro.core.results.QueryResultPayload` (result return),
-:class:`~repro.kg.compact.CompactGraph` (the shipped graph snapshot) and
-:class:`~repro.query.decompose.Decomposition` (memoized per worker).
+:class:`~repro.kg.compact.CompactGraph` (the shipped graph snapshot),
+:class:`~repro.kg.compact.CompactGraphHandle` (the shared-memory graph
+pointer) and :class:`~repro.query.decompose.Decomposition` (memoized per
+worker).
 Each test checks equality where value semantics exist and behaviour
 (same search results) where they do not.
 """
@@ -57,9 +59,11 @@ class TestCompactGraph:
         for name in (
             "entity_type", "edge_source", "edge_target", "edge_predicate",
             "indptr", "slot_neighbor", "slot_predicate", "slot_edge",
-            "slot_forward",
+            "slot_forward", "name_blob", "name_offsets",
         ):
             assert np.array_equal(getattr(thawed, name), getattr(frozen, name)), name
+        assert thawed.kg_name == frozen.kg_name
+        assert thawed.entity_names() == frozen.entity_names()
 
     def test_derived_state_is_rebuilt(self, small_bundle):
         frozen = CompactGraph.freeze(small_bundle.kg)
@@ -75,6 +79,36 @@ class TestCompactGraph:
         for uid in range(0, frozen.num_nodes, max(frozen.num_nodes // 50, 1)):
             assert thawed.node_slots[uid] == frozen.node_slots[uid]
             assert thawed.degree(uid) == frozen.degree(uid)
+
+
+class TestCompactGraphHandle:
+    def test_handle_roundtrips_and_attaches(self, small_bundle):
+        from repro.kg.compact import CompactGraphHandle
+
+        frozen = CompactGraph.freeze(small_bundle.kg)
+        with frozen.to_shared() as lease:
+            thawed = _roundtrip(lease.handle)
+            # Frozen dataclasses over plain values: full value equality.
+            assert isinstance(thawed, CompactGraphHandle)
+            assert thawed == lease.handle
+            # Behavioural check: the round-tripped handle attaches the
+            # same columns the owner published.
+            attached = CompactGraph.from_handle(thawed)
+            assert attached.shared
+            for name in ("indptr", "slot_neighbor", "entity_type",
+                         "name_blob", "name_offsets"):
+                assert np.array_equal(
+                    getattr(attached, name), getattr(frozen, name)
+                ), name
+            assert attached.entity_names() == frozen.entity_names()
+
+    def test_handle_pickle_is_metadata_sized(self, small_bundle):
+        frozen = CompactGraph.freeze(small_bundle.kg)
+        with frozen.to_shared() as lease:
+            handle_bytes = len(pickle.dumps(lease.handle))
+            graph_bytes = len(pickle.dumps(frozen))
+        # O(metadata), not O(graph): the whole point of the handle.
+        assert handle_bytes * 10 <= graph_bytes, (handle_bytes, graph_bytes)
 
 
 class TestEngineSpec:
