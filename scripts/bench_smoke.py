@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI smoke gate for the kernels and the execution-backend seam.
 
-Runs six result-equivalence gates on small fixed workloads and exits
+Runs seven result-equivalence gates on small fixed workloads and exits
 non-zero **only** on a mismatch — the one property CI can judge on shared
 runners.  Timing numbers are recorded in the artifacts but never gate the
 build (CI machines are too noisy for that; the full-scale benches in
@@ -30,7 +30,13 @@ build (CI machines are too noisy for that; the full-scale benches in
    backend with the graph shipped by value vs attached zero-copy from
    shared memory — bit-identical to inline, spec pickle reduced >= 10x,
    no ``/dev/shm`` segment leaked) →
-   ``benchmarks/results/BENCH_shared_graph.json``.
+   ``benchmarks/results/BENCH_shared_graph.json``;
+7. the chaos gate (``repro.bench.chaosbench``: the held-out scenario
+   replayed on a supervised process pool under a deterministic
+   FaultPlan that SIGKILLs a worker mid-replay — the pool must rebuild
+   in place, the recovered replay must print the fault-free exact-answer
+   digest with zero failed requests, and no ``/dev/shm`` segment may
+   survive) → ``benchmarks/results/BENCH_resilience.json``.
 
 Usage::
 
@@ -57,6 +63,7 @@ from repro.bench.assemblybench import (  # noqa: E402
 )
 from repro.bench.compactbench import compare_kernels  # noqa: E402
 from repro.bench.datasets import load_bundle  # noqa: E402
+from repro.bench.chaosbench import run_chaos_gate  # noqa: E402
 from repro.bench.parallelbench import (  # noqa: E402
     compare_backends,
     compare_shared_graph,
@@ -270,6 +277,47 @@ def main(argv=None) -> int:
             )
         if shared.leaked:
             print(f"LEAKED SHM SEGMENTS: {shared.leaked}", file=sys.stderr)
+
+    # -- gate 7: chaos replay (fault-injected vs fault-free digest) --------
+    chaos = run_chaos_gate(workload, workers=2)
+    path = emit_json("BENCH_resilience", chaos.to_json())
+    r = chaos.resilience
+    print(
+        f"chaos: {chaos.workload} under [{chaos.fault_plan}] on a "
+        f"supervised {chaos.workers}-worker pool: "
+        f"{r.get('crashes', 0)} crash(es), {r.get('retries', 0)} retries, "
+        f"{r.get('pool_rebuilds', 0)} pool rebuild(s) in "
+        f"{chaos.recovery_seconds * 1000:.1f} ms"
+    )
+    print(f"report: {path}")
+    if chaos.passed:
+        print(
+            f"chaos gate OK: fault-free digest reproduced on all "
+            f"{chaos.exact_queries} exact queries "
+            f"({chaos.digest_chaos.split(':', 1)[1][:12]}), "
+            f"0 failed requests, no leaked shm segments"
+        )
+    else:
+        failed = True
+        if not chaos.equivalent:
+            print(
+                "DIGEST MISMATCH under chaos: "
+                f"fault-free {chaos.digest_fault_free} != "
+                f"chaos {chaos.digest_chaos}", file=sys.stderr,
+            )
+        if chaos.failed_requests:
+            print(
+                f"{chaos.failed_requests} request(s) failed under chaos "
+                "(supervision should have recovered them all)",
+                file=sys.stderr,
+            )
+        if chaos.resilience.get("pool_rebuilds", 0) < 1:
+            print(
+                "NO POOL REBUILD happened — the injected crash never "
+                "fired, so the gate proved nothing", file=sys.stderr,
+            )
+        if chaos.leaked:
+            print(f"LEAKED SHM SEGMENTS: {chaos.leaked}", file=sys.stderr)
 
     return 1 if failed else 0
 

@@ -1,0 +1,174 @@
+"""Chaos gate: fault-injected serving must still answer exactly.
+
+The resilience layer (:mod:`repro.serve.resilience`) claims that a
+supervised process pool survives a worker crash mid-replay — the pool is
+rebuilt in place, the victims are retried, and because queries are
+read-only the recovered replay returns the **same exact answers** as a
+fault-free run.  This module owns the one comparison both the CI smoke
+gate (``scripts/bench_smoke.py`` gate 7) and ad-hoc chaos runs make, so
+the claim cannot drift from what CI checks:
+
+1. replay the held-out scenario inline and fault-free → reference digest;
+2. replay it again on a supervised process pool (shared-memory graph)
+   under :data:`DEFAULT_CHAOS_PLAN` — a deterministic
+   :class:`~repro.serve.faults.FaultPlan` that SIGKILLs one worker on its
+   3rd request and injects a transient error on another's 2nd;
+3. judge: digests equal, zero failed requests, at least one pool rebuild
+   actually happened (otherwise the chaos never fired and the gate is
+   vacuous), and no ``/dev/shm`` segment survived either service.
+
+TBQ items are excluded from the digest for the same reason the scenario
+gate excludes them: a deadline-bounded answer is time-dependent by
+design, and a retry necessarily re-runs it under a different clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kg.shm import leaked_segments
+from repro.scenarios.replay import build_resources, replay_scenario
+from repro.scenarios.suite import Workload
+from repro.serve.faults import FaultPlan
+from repro.serve.resilience import BackoffPolicy
+
+#: The deterministic fault mix the CI gate injects: one worker SIGKILLed
+#: on its 3rd request (breaks the whole pool — the expensive recovery
+#: path) plus one transient engine error on a 2nd request (the cheap
+#: retry path).  ``epochs=1`` confines the faults to the first pool
+#: generation so the rebuilt pool heals.
+DEFAULT_CHAOS_PLAN = FaultPlan(crash_at=(3,), transient_at=(2,), seed=11)
+
+#: Retry budget sized to the worst case the default plan can stack on a
+#: single request: a transient failure, then the same retry landing on
+#: the crashing worker, then a pool break racing the rebuild — three
+#: failures — with headroom.  Short seeded backoff keeps the gate fast
+#: and its retry timing bit-reproducible.
+DEFAULT_CHAOS_POLICY = BackoffPolicy(
+    retries=5, base_seconds=0.005, cap_seconds=0.05, seed=11
+)
+
+
+@dataclass
+class ChaosReport:
+    """Everything the chaos gate measured and judged."""
+
+    workload: str
+    workers: int
+    shared_graph: bool
+    fault_plan: str
+    cpu_count: int
+    start_method: str
+    num_queries: int = 0
+    exact_queries: int = 0
+    digest_fault_free: str = ""
+    digest_chaos: str = ""
+    equivalent: bool = False
+    failed_requests: int = 0
+    #: supervision deltas the chaos pass caused (retries, pool_rebuilds,
+    #: shed, crashes, timeouts, fallbacks).
+    resilience: Dict[str, int] = field(default_factory=dict)
+    #: wall-clock cost of each in-place pool rebuild.
+    rebuild_seconds: List[float] = field(default_factory=list)
+    breaker_state: str = "closed"
+    leaked: List[str] = field(default_factory=list)
+
+    @property
+    def recovery_seconds(self) -> float:
+        return sum(self.rebuild_seconds)
+
+    @property
+    def passed(self) -> bool:
+        """Digest equality under injected faults, with the faults proven
+        to have fired (>= 1 rebuild) and no resource left behind."""
+        return (
+            self.equivalent
+            and self.failed_requests == 0
+            and self.resilience.get("pool_rebuilds", 0) >= 1
+            and not self.leaked
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "workers": self.workers,
+            "shared_graph": self.shared_graph,
+            "fault_plan": self.fault_plan,
+            "cpu_count": self.cpu_count,
+            "start_method": self.start_method,
+            "num_queries": self.num_queries,
+            "exact_queries": self.exact_queries,
+            "digest_fault_free": self.digest_fault_free,
+            "digest_chaos": self.digest_chaos,
+            "equivalent": self.equivalent,
+            "failed_requests": self.failed_requests,
+            "resilience": dict(self.resilience),
+            "rebuild_seconds": [round(s, 6) for s in self.rebuild_seconds],
+            "recovery_seconds": round(self.recovery_seconds, 6),
+            "breaker_state": self.breaker_state,
+            "leaked_segments": list(self.leaked),
+            "passed": self.passed,
+        }
+
+
+def run_chaos_gate(
+    workload: Workload,
+    *,
+    workers: int = 2,
+    plan: Optional[FaultPlan] = None,
+    policy: Optional[BackoffPolicy] = None,
+    shared_graph: bool = True,
+) -> ChaosReport:
+    """Replay ``workload`` fault-free and under chaos; judge equivalence.
+
+    The engine inputs are built once and shared by both passes, so the
+    only variable between the two digests is the injected fault plan and
+    the supervision recovering from it.
+    """
+    plan = plan if plan is not None else DEFAULT_CHAOS_PLAN
+    policy = policy if policy is not None else DEFAULT_CHAOS_POLICY
+    report = ChaosReport(
+        workload=workload.name,
+        workers=workers,
+        shared_graph=shared_graph,
+        fault_plan=plan.describe(),
+        cpu_count=os.cpu_count() or 1,
+        start_method=multiprocessing.get_start_method(),
+        num_queries=len(workload.queries),
+    )
+    resources = build_resources(workload)
+
+    reference = replay_scenario(
+        workload, backend="inline", resources=resources
+    )
+    report.exact_queries = len(reference.answers)
+    report.digest_fault_free = reference.digest
+
+    chaos = replay_scenario(
+        workload,
+        backend="process",
+        workers=workers,
+        shared_graph=shared_graph,
+        fault_plan=plan,
+        retry_policy=policy,
+        resources=resources,
+    )
+    report.digest_chaos = chaos.digest
+    report.equivalent = (
+        chaos.digest == reference.digest
+        and len(chaos.answers) == len(reference.answers)
+    )
+    report.failed_requests = chaos.report.failed
+    report.resilience = dict(chaos.report.resilience)
+    if chaos.resilience_stats is not None:
+        report.rebuild_seconds = list(
+            chaos.resilience_stats.get("rebuild_seconds", [])
+        )
+        report.breaker_state = chaos.resilience_stats.get(
+            "breaker_state", "closed"
+        )
+    report.leaked = leaked_segments()
+    return report

@@ -96,6 +96,13 @@ class EngineSpec:
     ``graph_handle`` are mutually exclusive (arrays by value vs by
     reference).
 
+    ``fault_plan`` optionally carries a picklable chaos-injection plan
+    (see :class:`repro.serve.faults.FaultPlan`) to the worker
+    initializer.  It is deliberately untyped here: the core layer never
+    interprets it (a typed field would pull a serve import into core),
+    it only rides along so deterministic fault injection reaches process
+    workers through the same vehicle as the engine description.
+
     Everything here must stay picklable: ``KnowledgeGraph`` is plain
     dataclasses and dicts, ``PredicateSpace`` drops its lock on pickle,
     ``CompactGraph`` ships only its numeric tables, and a handle ships
@@ -111,6 +118,7 @@ class EngineSpec:
     search_kernel: str = "auto"
     compact_graph: Optional[CompactGraph] = None
     graph_handle: Optional[CompactGraphHandle] = None
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.assembly_kernel not in ASSEMBLY_KERNELS:

@@ -88,3 +88,74 @@ class ServeError(ReproError):
     to two different (graph, space) combinations, or submitting work to a
     closed :class:`~repro.serve.service.QueryService`.
     """
+
+
+# ----------------------------------------------------------------------
+# serving failure taxonomy: retryable vs fatal
+# ----------------------------------------------------------------------
+#
+# The supervision layer (:mod:`repro.serve.resilience`) classifies every
+# request failure into exactly two buckets.  *Retryable* failures are
+# transient conditions of the serving substrate — a worker died, an
+# engine hiccuped — where re-running the request is both safe (queries
+# are read-only and therefore idempotent) and likely to succeed.
+# Everything else is *fatal to the request*: retrying a malformed query
+# or a shed request would burn capacity without changing the outcome.
+
+
+class RetryableServeError(ServeError):
+    """Transient serving failures that are safe to retry.
+
+    The marker base of the retryable half of the taxonomy: queries are
+    read-only, so re-executing one after a failure of the serving
+    substrate can never corrupt state — it can only cost time.  A
+    :class:`~repro.serve.resilience.SupervisedBackend` retries these
+    (with capped, seeded-jitter backoff) and treats every other
+    exception as fatal to the request.
+    """
+
+
+class TransientEngineError(RetryableServeError):
+    """A one-off engine failure expected to succeed on re-execution.
+
+    Raised by the fault-injection layer (:mod:`repro.serve.faults`) and
+    available to engine integrations for genuinely transient conditions
+    (e.g. a momentarily unavailable resource).
+    """
+
+
+class WorkerCrashError(RetryableServeError):
+    """A worker died while serving a request.
+
+    On the process backend a crash usually surfaces as
+    ``concurrent.futures.process.BrokenProcessPool`` (classified
+    retryable by the supervisor, which also rebuilds the pool); this
+    type covers the shared-memory backends, where an injected crash
+    cannot actually kill the serving process.
+    """
+
+
+class OverloadError(ServeError):
+    """Request shed by the bounded admission queue.
+
+    Fatal to the request by design: shedding exists to keep latency
+    bounded under overload, and retrying a shed request immediately
+    would defeat it.  Callers should back off and resubmit.
+    """
+
+
+class RequestTimeoutError(ServeError):
+    """A request exceeded the serving-level hard timeout.
+
+    Distinct from a TBQ deadline: a deadline is a *search budget* the
+    engine honours by returning an anytime answer, while the hard
+    timeout is a promise that the request's future resolves at all —
+    the backstop against a hung worker or a wedged pool.
+    """
+
+
+class RetryExhaustedError(ServeError):
+    """A retryable failure persisted past the retry budget.
+
+    ``__cause__`` carries the last underlying failure.
+    """

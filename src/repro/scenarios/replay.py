@@ -108,6 +108,9 @@ class ScenarioReplayResult:
     #: exact (no-deadline) qid -> sorted answer entity names.
     answers: Dict[str, List[str]]
     intent_counts: Dict[str, int]
+    #: supervision snapshot (``ResilienceStats.to_json()``) captured
+    #: before the service closed; ``None`` on an unsupervised replay.
+    resilience_stats: Optional[dict] = None
 
     @property
     def digest(self) -> str:
@@ -122,13 +125,18 @@ def replay_scenario(
     compact: bool = True,
     paced: bool = False,
     resources: Optional[ScenarioResources] = None,
+    shared_graph: bool = False,
+    fault_plan=None,
+    retry_policy=None,
 ) -> ScenarioReplayResult:
     """One replay pass of the artifact through a fresh service.
 
     ``paced=True`` honours the artifact's frozen arrival spec; the
     default replays unpaced (results are identical either way — pacing
     only changes latency, which is what the paced mode exists to
-    measure).
+    measure).  ``fault_plan``/``retry_policy`` run the pass under
+    supervision (see :mod:`repro.serve.resilience`): the chaos gate uses
+    them to prove an injected crash still yields the fault-free digest.
     """
     if resources is None:
         resources = build_resources(workload)
@@ -144,6 +152,13 @@ def replay_scenario(
 
     rate = workload.arrival.rate if paced else None
     arrival = workload.arrival.process if rate is not None else "uniform"
+    extra = {}
+    if fault_plan is not None:
+        extra["fault_plan"] = fault_plan
+    if retry_policy is not None:
+        extra["retry_policy"] = retry_policy
+    if extra:
+        extra["supervised"] = True
     with QueryService.build(
         resources.kg,
         resources.space,
@@ -152,6 +167,8 @@ def replay_scenario(
         backend=backend,
         workers=workers,
         compact=compact,
+        shared_graph=shared_graph,
+        **extra,
     ) as service:
         if backend == "process":
             service.warmup()
@@ -163,12 +180,16 @@ def replay_scenario(
             seed=workload.seed,
             on_result=_collect,
         )
+        resilience = service.resilience()
     return ScenarioReplayResult(
         workload_name=workload.name,
         backend=backend,
         report=report,
         answers=answers,
         intent_counts=workload.intent_counts(),
+        resilience_stats=(
+            resilience.to_json() if resilience is not None else None
+        ),
     )
 
 

@@ -17,7 +17,12 @@ state across a workload:
   engines from a pickled :class:`~repro.core.engine.EngineSpec`);
 - :mod:`repro.serve.workload` — open-loop replay driver (uniform or
   Poisson arrivals, mixed SGQ/TBQ) reporting throughput and latency
-  percentiles (also the ``repro-serve-workload`` console script).
+  percentiles (also the ``repro-serve-workload`` console script);
+- :mod:`repro.serve.resilience` + :mod:`repro.serve.faults` — the
+  fault-tolerance layer: :class:`~repro.serve.resilience.SupervisedBackend`
+  (retries with seeded backoff, in-place pool rebuild, circuit-breaker
+  fallback, hard timeouts, load shedding) driven in tests and CI by a
+  deterministic, picklable :class:`~repro.serve.faults.FaultPlan`.
 
 Later scaling work (sharded graph stores, async front-ends) plugs in
 behind these seams; see ``docs/architecture.md``.
@@ -32,6 +37,13 @@ from repro.serve.backends import (
     WorkerSnapshot,
 )
 from repro.serve.cache import CacheStats, SemanticGraphCache
+from repro.serve.faults import FaultInjector, FaultPlan
+from repro.serve.resilience import (
+    BackoffPolicy,
+    CircuitBreaker,
+    ResilienceStats,
+    SupervisedBackend,
+)
 from repro.serve.service import (
     QueryRequest,
     QueryService,
@@ -50,6 +62,12 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "WorkerSnapshot",
+    "FaultPlan",
+    "FaultInjector",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "SupervisedBackend",
     "QueryRequest",
     "QueryService",
     "ServiceStats",

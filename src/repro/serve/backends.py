@@ -43,7 +43,12 @@ import os
 import pickle
 import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
@@ -154,6 +159,7 @@ class _EngineRunner:
         memoize_decompositions: bool = True,
         max_memoized: int = 1024,
         shape_key: Optional[Callable] = None,
+        faults=None,  # Optional[repro.serve.faults.FaultInjector]
     ):
         self.engine = engine
         self._memoize = memoize_decompositions
@@ -164,6 +170,7 @@ class _EngineRunner:
 
             shape_key = query_shape_key
         self._shape_key = shape_key
+        self._faults = faults
         self._queries = 0
 
     def decomposition_for(self, request) -> Optional[Decomposition]:
@@ -182,6 +189,10 @@ class _EngineRunner:
         return decomposition
 
     def execute(self, request, submitted_wall: float) -> QueryResult:
+        if self._faults is not None:
+            # Before any real work, so an injected crash models a worker
+            # dying mid-request (the request is lost, not half-served).
+            self._faults.on_request()
         decomposition = self.decomposition_for(request)
         result = execute_request(
             self.engine, request, submitted_wall, decomposition=decomposition
@@ -366,11 +377,20 @@ def _process_worker_init(
     """
     global _WORKER_RUNNER
     spec: EngineSpec = pickle.loads(spec_pickle)
+    faults = None
+    plan = getattr(spec, "fault_plan", None)
+    if plan is not None:
+        # allow_kill: in a real worker process an injected crash is a
+        # real SIGKILL — the pool must observe an actual worker death,
+        # not a polite exception.
+        faults = plan.activate(allow_kill=True)
+        faults.on_worker_init()  # may raise (simulated shm-attach loss)
     engine = build_engine(spec, weight_cache=SemanticGraphCache())
     _WORKER_RUNNER = _EngineRunner(
         engine,
         memoize_decompositions=memoize_decompositions,
         max_memoized=max_memoized,
+        faults=faults,
     )
 
 
@@ -512,13 +532,22 @@ class ProcessBackend(ExecutionBackend):
         ``timeout`` bounds the *total* wait.  Returns the number of
         *distinct* workers that answered in time — on a loaded machine
         that may be fewer than ``workers``; stragglers finish
-        bootstrapping on their first real request.
+        bootstrapping on their first real request.  A timeout that
+        expires before *any* worker answered, or a pool that breaks
+        while warming, raises a :class:`~repro.errors.ServeError` naming
+        the backend — never a bare futures ``TimeoutError``.
         """
         deadline = time.monotonic() + timeout if timeout is not None else None
-        futures = [
-            self._executor.submit(_process_warmup, 0.05)
-            for _ in range(self.workers)
-        ]
+        try:
+            futures = [
+                self._executor.submit(_process_warmup, 0.05)
+                for _ in range(self.workers)
+            ]
+        except BrokenExecutor as exc:
+            raise ServeError(
+                f"{self.name!r} backend failed to warm up: the worker pool "
+                f"is broken ({exc})"
+            ) from exc
         pids = set()
         for future in futures:
             remaining = None
@@ -526,10 +555,24 @@ class ProcessBackend(ExecutionBackend):
                 remaining = max(deadline - time.monotonic(), 0.0)
             try:
                 pids.add(future.result(timeout=remaining))
-            except FuturesTimeoutError:
-                # Report whoever made it; the rest warm lazily.  (On
-                # 3.9/3.10 the futures TimeoutError is not the builtin.)
+            except FuturesTimeoutError as exc:
+                # (On 3.9/3.10 the futures TimeoutError is not the
+                # builtin.)  Partial warmth is fine — stragglers boot on
+                # their first request — but zero workers inside the
+                # caller's budget deserves a clear, typed error.
+                if not pids:
+                    raise ServeError(
+                        f"{self.name!r} backend warmup timed out after "
+                        f"{timeout:g}s with no worker ready "
+                        f"(workers={self.workers}); raise the timeout or "
+                        "let workers boot lazily with warmup(timeout=None)"
+                    ) from exc
                 break
+            except BrokenExecutor as exc:
+                raise ServeError(
+                    f"{self.name!r} backend failed to warm up: the worker "
+                    f"pool broke while booting ({exc})"
+                ) from exc
         return len(pids)
 
     def close(self, wait: bool = True) -> None:

@@ -51,6 +51,7 @@ from repro.embedding.predicate_space import PredicateSpace, SpaceCacheStats
 from repro.errors import ServeError
 from repro.kg.compact import CompactGraph, SharedCompactGraph
 from repro.kg.graph import KnowledgeGraph
+from repro.kg.shm import leaked_segments
 from repro.query.model import QueryGraph
 from repro.query.transform import TransformationLibrary
 from repro.serve.backends import (
@@ -66,6 +67,13 @@ from repro.serve.backends import (
     diff_snapshots,
 )
 from repro.serve.cache import CacheStats, SemanticGraphCache
+from repro.serve.faults import FaultPlan
+from repro.serve.resilience import (
+    BackoffPolicy,
+    CircuitBreaker,
+    ResilienceStats,
+    SupervisedBackend,
+)
 
 __all__ = [
     "QueryRequest",
@@ -110,12 +118,25 @@ class ServiceStats:
     report can say which stats-aggregation semantics apply (shared
     structures vs summed per-worker copies — see
     :meth:`QueryService.serving_stats`).
+
+    The resilience counters (``retries`` … ``fallbacks``) stay zero on
+    an unsupervised service; under supervision they mirror the
+    :class:`~repro.serve.resilience.SupervisedBackend` event stream.  A
+    shed or timed-out request is *also* counted in ``failed`` (its
+    future resolves with an error); a retried request is counted
+    ``completed`` or ``failed`` exactly once, by its final outcome.
     """
 
     submitted: int = 0
     completed: int = 0
     failed: int = 0
     time_bounded: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    shed: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    fallbacks: int = 0
     backend: str = "thread"
 
     @property
@@ -250,6 +271,28 @@ class QueryService:
             Requires a compact spec.  The service owns the segment: it is
             unlinked on :meth:`close` (after the pool is down) and by a
             finalizer if the owner crashes.
+        supervised: wrap the backend in a
+            :class:`~repro.serve.resilience.SupervisedBackend` — retries
+            for retryable failures, in-place pool rebuild on
+            ``BrokenProcessPool`` (releasing and re-acquiring the shared
+            graph lease), circuit-breaker fallback to an inline engine,
+            optional hard timeout and load shedding.  Implied by any of
+            ``fault_plan`` / ``retry_policy`` / ``hard_timeout`` /
+            ``max_pending``.
+        fault_plan: a :class:`~repro.serve.faults.FaultPlan` injected
+            into the serving path (process workers receive it through
+            the spec; shared-memory backends activate it in-process) for
+            deterministic chaos runs.
+        retry_policy: a :class:`~repro.serve.resilience.BackoffPolicy`
+            overriding the default retry budget and backoff shape.
+        hard_timeout: per-request wall-clock bound (seconds) on future
+            resolution; fires :class:`~repro.errors.RequestTimeoutError`.
+            Distinct from a TBQ ``deadline``, which budgets the search.
+        max_pending: bounded admission — submissions beyond this many
+            unresolved requests raise
+            :class:`~repro.errors.OverloadError` instead of queueing.
+        breaker_threshold / breaker_cooldown: consecutive pool breaks
+            that open the circuit, and seconds before a half-open probe.
 
     Use as a context manager or call :meth:`close` to release the pool.
     """
@@ -267,6 +310,13 @@ class QueryService:
         max_memoized: int = 1024,
         start_method: Optional[str] = None,
         shared_graph: bool = False,
+        supervised: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[BackoffPolicy] = None,
+        hard_timeout: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ):
         if backend not in EXECUTION_BACKENDS:
             raise ServeError(
@@ -287,6 +337,17 @@ class QueryService:
                 "shared-memory backends already share the one in-process "
                 "graph"
             )
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise ServeError(
+                f"fault_plan must be a FaultPlan, got {type(fault_plan).__name__}"
+            )
+        supervised = bool(
+            supervised
+            or fault_plan is not None
+            or retry_policy is not None
+            or hard_timeout is not None
+            or max_pending is not None
+        )
 
         self.backend_name = backend
         self.workers = max_workers if backend != "inline" else 1
@@ -296,6 +357,15 @@ class QueryService:
         self._closed = False
         self._stats_baseline: Optional[WorkerSnapshot] = None
         self._graph_lease: Optional[SharedCompactGraph] = None
+        self._supervised = supervised
+        self._fault_plan = fault_plan
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else BackoffPolicy()
+        )
+        self._hard_timeout = hard_timeout
+        self._max_pending = max_pending
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
 
         if backend == "process":
             if cache is not None:
@@ -307,27 +377,25 @@ class QueryService:
             if spec is None:
                 assert engine is not None
                 spec = engine.to_spec()  # raises on unpicklable setups
-            if shared_graph:
-                spec, self._graph_lease = _share_graph(spec)
             self.engine = engine
             self.cache = None
+            # The pre-share spec (graph arrays still by value) is what a
+            # pool *rebuild* republishes the shared segment from, and
+            # what the circuit-breaker fallback builds its inline engine
+            # from; self.spec below is the worker-bound (possibly
+            # handle-carrying) variant of the current pool generation.
+            self._base_spec = spec
+            self._shared_graph = shared_graph
+            self._pool_settings = dict(
+                memoize_decompositions=memoize_decompositions,
+                max_memoized=max_memoized,
+                start_method=start_method,
+            )
             self.spec: Optional[EngineSpec] = spec
-            try:
-                self._backend: ExecutionBackend = ProcessBackend(
-                    spec,
-                    self.workers,
-                    memoize_decompositions=memoize_decompositions,
-                    max_memoized=max_memoized,
-                    start_method=start_method,
-                    on_complete=self._record_outcome,
-                )
-            except BaseException:
-                # The pool never came up: nobody else will release the
-                # shared segment, so do it here rather than leak until
-                # the finalizer.
-                if self._graph_lease is not None:
-                    self._graph_lease.close()
-                raise
+            inner: ExecutionBackend = self._build_pool()
+            self._backend: ExecutionBackend = (
+                self._supervise(inner, rebuildable=True) if supervised else inner
+            )
             return
 
         if engine is None:
@@ -340,19 +408,125 @@ class QueryService:
         self.engine = engine
         self.cache = engine.weight_cache
         self.spec = spec
+        faults = None
+        if fault_plan is not None and fault_plan.active:
+            # In-process injection: crashes surface as WorkerCrashError
+            # (killing the only process would defeat the point).
+            faults = fault_plan.activate(allow_kill=False)
         runner = _EngineRunner(
             engine,
             memoize_decompositions=memoize_decompositions,
             max_memoized=max_memoized,
             shape_key=query_shape_key,
+            faults=faults,
         )
         self._runner = runner
+        on_complete = None if supervised else self._record_outcome
         if backend == "inline":
-            self._backend = InlineBackend(runner, on_complete=self._record_outcome)
+            inner = InlineBackend(runner, on_complete=on_complete)
         else:
-            self._backend = ThreadBackend(
-                runner, self.workers, on_complete=self._record_outcome
+            inner = ThreadBackend(runner, self.workers, on_complete=on_complete)
+        self._backend = (
+            self._supervise(inner, rebuildable=False) if supervised else inner
+        )
+
+    def _supervise(
+        self, inner: ExecutionBackend, *, rebuildable: bool
+    ) -> SupervisedBackend:
+        return SupervisedBackend(
+            inner,
+            policy=self._retry_policy,
+            hard_timeout=self._hard_timeout,
+            max_pending=self._max_pending,
+            breaker=CircuitBreaker(
+                threshold=self._breaker_threshold,
+                cooldown_seconds=self._breaker_cooldown,
+            ),
+            rebuild=self._rebuild_pool if rebuildable else None,
+            fallback_factory=self._build_fallback if rebuildable else None,
+            on_complete=self._record_outcome,
+            on_event=self._record_event,
+        )
+
+    def _build_pool(self) -> ProcessBackend:
+        """Construct a process pool generation from the base spec.
+
+        Stamps the current fault plan into the worker-bound spec (so
+        chaos rides the same vehicle as the engine description) and, for
+        shared-graph services, publishes a fresh shared-memory segment.
+        On construction failure the just-acquired lease is released with
+        a stranded-segment probe — the pool never came up, so nobody
+        else will.
+        """
+        spec = self._base_spec
+        plan = self._fault_plan
+        if plan is not None and plan.active:
+            spec = replace(spec, fault_plan=plan)
+        lease = None
+        if self._shared_graph:
+            spec, lease = _share_graph(spec)
+        try:
+            backend = ProcessBackend(
+                spec,
+                self.workers,
+                on_complete=None if self._supervised else self._record_outcome,
+                **self._pool_settings,
             )
+        except BaseException:
+            if lease is not None:
+                self._release_lease(lease)
+            raise
+        self._graph_lease = lease
+        self.spec = spec
+        return backend
+
+    def _rebuild_pool(self) -> ProcessBackend:
+        """Replace a broken pool in place (supervisor callback).
+
+        Runs under the supervisor's pool lock, strictly after the broken
+        pool's shutdown was initiated: release the old shared-memory
+        lease (probing that its segment really left ``/dev/shm``),
+        advance the fault plan one epoch so a chaos plan does not crash
+        the replacement pool forever, and re-acquire exactly one fresh
+        lease via :meth:`_build_pool`.
+        """
+        lease, self._graph_lease = self._graph_lease, None
+        if lease is not None:
+            self._release_lease(lease)
+        if self._fault_plan is not None:
+            self._fault_plan = self._fault_plan.next_epoch()
+        return self._build_pool()
+
+    @staticmethod
+    def _release_lease(lease: SharedCompactGraph) -> None:
+        """Release an owned shm lease, asserting the segment vanished."""
+        name = lease.name
+        lease.close()
+        if name in leaked_segments():
+            raise ServeError(
+                f"shared-memory segment {name!r} is still present in "
+                "/dev/shm after its lease was released — refusing to "
+                "continue with a leak"
+            )
+
+    def _build_fallback(self) -> ExecutionBackend:
+        """Degraded-mode backend: an inline engine in this process.
+
+        Built from the pre-share base spec with the fault plan stripped
+        (the fallback exists to survive chaos, not to re-inject it).
+        """
+        spec = replace(self._base_spec, fault_plan=None)
+        engine = build_engine(spec, weight_cache=SemanticGraphCache())
+        runner = _EngineRunner(
+            engine,
+            shape_key=query_shape_key,
+            **{
+                k: v
+                for k, v in self._pool_settings.items()
+                if k in ("memoize_decompositions", "max_memoized")
+            },
+        )
+        return InlineBackend(runner, on_complete=None)
 
     # ------------------------------------------------------------------
     # construction conveniences
@@ -473,12 +647,31 @@ class QueryService:
 
     def _record_outcome(self, success: bool) -> None:
         # Runs on the execution path, strictly before the request's
-        # future resolves (see ExecutionBackend.on_complete).
+        # future resolves (see ExecutionBackend.on_complete).  Under
+        # supervision it fires exactly once per request (final outcome),
+        # never once per attempt.
         with self._stats_lock:
             if success:
                 self.stats.completed += 1
             else:
                 self.stats.failed += 1
+
+    _EVENT_COUNTERS = {
+        "retry": "retries",
+        "pool_rebuild": "pool_rebuilds",
+        "shed": "shed",
+        "crash": "crashes",
+        "timeout": "timeouts",
+        "fallback": "fallbacks",
+    }
+
+    def _record_event(self, kind: str) -> None:
+        # Mirror of the SupervisedBackend event stream into ServiceStats.
+        name = self._EVENT_COUNTERS.get(kind)
+        if name is None:  # pragma: no cover - supervisor contract
+            return
+        with self._stats_lock:
+            setattr(self.stats, name, getattr(self.stats, name) + 1)
 
     def submit_batch(
         self, requests: Sequence[Union[QueryRequest, QueryGraph]]
@@ -633,8 +826,30 @@ class QueryService:
 
     @property
     def graph_lease(self) -> Optional[SharedCompactGraph]:
-        """The shared-memory graph lease (``None`` unless shared_graph)."""
+        """The shared-memory graph lease (``None`` unless shared_graph).
+
+        Under supervision the lease changes identity across pool
+        rebuilds (release old, publish fresh); read it anew rather than
+        caching the object.
+        """
         return self._graph_lease
+
+    @property
+    def supervised(self) -> bool:
+        """Whether the backend runs under a :class:`SupervisedBackend`."""
+        return self._supervised
+
+    def resilience(self) -> Optional[ResilienceStats]:
+        """Supervision counters (``None`` on an unsupervised service).
+
+        The same events are mirrored into :class:`ServiceStats`; this
+        report adds what only the supervisor knows — per-rebuild
+        recovery latency and the live circuit-breaker state.
+        """
+        backend = self._backend
+        if isinstance(backend, SupervisedBackend):
+            return backend.resilience_stats()
+        return None
 
     @property
     def closed(self) -> bool:

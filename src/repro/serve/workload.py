@@ -52,10 +52,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.assembly import ASSEMBLY_KERNELS
 from repro.core.astar import SEARCH_KERNELS
-from repro.errors import ScenarioError, ServeError
+from repro.errors import OverloadError, ScenarioError, ServeError
 from repro.query.model import QueryGraph
 from repro.serve.backends import EXECUTION_BACKENDS
 from repro.serve.cache import CacheStats
+from repro.serve.faults import FaultPlan
+from repro.serve.resilience import BackoffPolicy
 from repro.serve.service import QueryRequest, QueryService, ServingStatsReport
 from repro.utils.rng import derive_rng
 from repro.utils.stats import percentile
@@ -120,6 +122,11 @@ class ReplayReport:
     and ``stats`` is the backend-labelled cache/memo report —
     ``cache_stats`` keeps the bare weight-cache counters for older
     consumers.
+
+    ``resilience`` carries the supervision counters *this pass* caused
+    (deltas of the service's monotonic totals): retries, pool_rebuilds,
+    shed, crashes, timeouts, fallbacks.  All zero on an unsupervised or
+    fault-free run; shed requests are also in ``failed``.
     """
 
     completed: int
@@ -134,6 +141,7 @@ class ReplayReport:
     arrival: str = "uniform"
     deadline_requests: int = 0
     stats: Optional[ServingStatsReport] = None
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput_qps(self) -> float:
@@ -207,6 +215,15 @@ class ReplayReport:
         if self.truncated:
             lines.append(
                 f"ta: {self.truncated} queries hit the assembly round cap"
+            )
+        if self.resilience and any(self.resilience.values()):
+            r = self.resilience
+            lines.append(
+                f"resilience: {r.get('retries', 0)} retries, "
+                f"{r.get('pool_rebuilds', 0)} pool rebuilds, "
+                f"{r.get('crashes', 0)} crashes, {r.get('shed', 0)} shed, "
+                f"{r.get('timeouts', 0)} timeouts, "
+                f"{r.get('fallbacks', 0)} fallback queries"
             )
         if self.breakdown:
             total = sum(b.elapsed_seconds for b in self.breakdown)
@@ -351,10 +368,28 @@ def replay(
     splits: List[QueryBreakdown] = []
     lock = threading.Lock()
     done = threading.Semaphore(0)
+    resilience_keys = (
+        "retries",
+        "pool_rebuilds",
+        "shed",
+        "crashes",
+        "timeouts",
+        "fallbacks",
+    )
+    stats_before = service.stats_snapshot()
     watch = Stopwatch()
 
     def _submit(request: QueryRequest, scheduled: float, index: int) -> None:
-        future = service.submit_request(request)
+        try:
+            future = service.submit_request(request)
+        except OverloadError:
+            # A shed request is a failed request, not a failed replay:
+            # the admission queue doing its job under overload must not
+            # abort the remaining schedule.
+            with lock:
+                failures[0] += 1
+            done.release()
+            return
 
         def _finish(f) -> None:
             latency = watch.elapsed() - scheduled
@@ -418,6 +453,11 @@ def replay(
     elapsed = watch.elapsed()
 
     stats = service.serving_stats()
+    stats_after = service.stats_snapshot()
+    resilience = {
+        key: getattr(stats_after, key) - getattr(stats_before, key)
+        for key in resilience_keys
+    }
     return ReplayReport(
         completed=len(latencies),
         failed=failures[0],
@@ -435,6 +475,7 @@ def replay(
             1 for request in requests if request.deadline is not None
         ),
         stats=stats,
+        resilience=resilience,
     )
 
 
@@ -577,7 +618,88 @@ def _build_parser() -> argparse.ArgumentParser:
             "(engine instrumentation; identifies assembly-bound queries)"
         ),
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection spec, e.g. "
+            "'crash@3;transient@2,5;latency@4:0.05;seed=7;epochs=2' "
+            "(see repro.serve.faults.FaultPlan.parse); implies supervised "
+            "serving so the replay recovers from the injected faults"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry budget per request for retryable failures (transient "
+            "errors, worker crashes); implies supervised serving "
+            "(default: 2 when supervision is on)"
+        ),
+    )
+    parser.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request wall-clock cap enforced by the supervisor (fails "
+            "the request; distinct from a TBQ --deadline, which degrades "
+            "the answer); implies supervised serving"
+        ),
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission-queue bound: shed submissions beyond N in-flight "
+            "requests with OverloadError; implies supervised serving"
+        ),
+    )
+    parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help=(
+            "wrap the backend in the SupervisedBackend even without any "
+            "other resilience flag (retries, pool rebuild on worker "
+            "crash, circuit-breaker fallback)"
+        ),
+    )
     return parser
+
+
+def _resilience_kwargs(args, parser) -> Dict[str, object]:
+    """Validate the resilience flags and build QueryService.build kwargs."""
+    if args.retries is not None and args.retries < 0:
+        parser.error(f"--retries must be non-negative, got {args.retries}")
+    if args.hard_timeout is not None and args.hard_timeout <= 0:
+        parser.error(
+            f"--hard-timeout must be positive, got {args.hard_timeout}"
+        )
+    if args.max_pending is not None and args.max_pending < 1:
+        parser.error(
+            f"--max-pending must be at least 1, got {args.max_pending}"
+        )
+    kwargs: Dict[str, object] = {}
+    if args.fault_plan is not None:
+        try:
+            kwargs["fault_plan"] = FaultPlan.parse(args.fault_plan)
+        except ServeError as exc:
+            parser.error(f"--fault-plan: {exc}")
+    if args.retries is not None:
+        kwargs["retry_policy"] = BackoffPolicy(retries=args.retries)
+    if args.hard_timeout is not None:
+        kwargs["hard_timeout"] = args.hard_timeout
+    if args.max_pending is not None:
+        kwargs["max_pending"] = args.max_pending
+    if args.supervised or kwargs:
+        kwargs["supervised"] = True
+    return kwargs
 
 
 def _run_scenario(args, parser) -> int:
@@ -633,6 +755,10 @@ def _run_scenario(args, parser) -> int:
         )
     items = scenario_items(workload)
     kg = resources.kg
+    resilience_kwargs = _resilience_kwargs(args, parser)
+    plan = resilience_kwargs.get("fault_plan")
+    if plan is not None:
+        print(f"fault plan: {plan.describe()}")
     with QueryService.build(
         resources.kg,
         resources.space,
@@ -644,6 +770,7 @@ def _run_scenario(args, parser) -> int:
         assembly_kernel=args.assembly_kernel,
         search_kernel=args.search_kernel,
         shared_graph=args.shared_graph,
+        **resilience_kwargs,
     ) as service:
         if args.backend == "process":
             warmed = service.warmup()
@@ -746,6 +873,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         items = mix_deadlines(
             items, args.tbq_fraction, args.deadline, seed=args.seed
         )
+    resilience_kwargs = _resilience_kwargs(args, parser)
+    plan = resilience_kwargs.get("fault_plan")
+    if plan is not None:
+        print(f"fault plan: {plan.describe()}")
     with QueryService.build(
         bundle.kg,
         bundle.space,
@@ -756,6 +887,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         assembly_kernel=args.assembly_kernel,
         search_kernel=args.search_kernel,
         shared_graph=args.shared_graph,
+        **resilience_kwargs,
     ) as service:
         if args.backend == "process":
             warmed = service.warmup()

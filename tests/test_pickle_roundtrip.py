@@ -7,8 +7,9 @@ The process backend's correctness rests on six types surviving
 :class:`~repro.core.results.QueryResultPayload` (result return),
 :class:`~repro.kg.compact.CompactGraph` (the shipped graph snapshot),
 :class:`~repro.kg.compact.CompactGraphHandle` (the shared-memory graph
-pointer) and :class:`~repro.query.decompose.Decomposition` (memoized per
-worker).
+pointer), :class:`~repro.query.decompose.Decomposition` (memoized per
+worker) and :class:`~repro.serve.faults.FaultPlan` (chaos injection
+riding the spec into workers).
 Each test checks equality where value semantics exist and behaviour
 (same search results) where they do not.
 """
@@ -251,6 +252,59 @@ class TestDecomposition:
         actual = engine.search(item.query, k=5, decomposition=thawed)
         problem = final_matches_differ(item.qid, expected.matches, actual.matches)
         assert problem is None, problem
+
+
+class TestFaultPlan:
+    """A FaultPlan rides the EngineSpec pickle into process workers, so
+    both the plan and a plan-carrying spec must survive the boundary —
+    and the backoff jitter the supervisor derives from its seed must be
+    bit-deterministic, or a chaos replay could not be reproduced."""
+
+    def test_plan_roundtrips_with_behaviour(self):
+        from repro.serve.faults import FaultPlan
+
+        plan = FaultPlan(
+            crash_at=(3,), transient_at=(2, 5), fatal_at=(9,),
+            latency_at=(4,), latency_seconds=0.05,
+            fail_shm_attach=True, seed=7, epochs=2,
+        )
+        thawed = _roundtrip(plan)
+        assert thawed == plan
+        assert thawed.describe() == plan.describe()
+        # parse() of describe() closes the loop: the CLI spec format is
+        # lossless for every field.
+        assert FaultPlan.parse(thawed.describe()) == plan
+
+    def test_spec_with_plan_roundtrips(self, small_bundle):
+        from repro.serve.faults import FaultPlan
+
+        plan = FaultPlan(transient_at=(1,), seed=3)
+        spec = EngineSpec(
+            kg=small_bundle.kg,
+            space=small_bundle.space,
+            library=small_bundle.library,
+            fault_plan=plan,
+        )
+        thawed = _roundtrip(spec)
+        assert thawed.fault_plan == plan
+        # The thawed plan still activates and injects: request 1 is the
+        # transient ordinal.
+        from repro.errors import TransientEngineError
+
+        injector = thawed.fault_plan.activate()
+        with pytest.raises(TransientEngineError):
+            injector.on_request()
+        injector.on_request()  # request 2 passes clean
+
+    def test_backoff_schedule_is_bit_deterministic(self):
+        from repro.serve.resilience import BackoffPolicy
+
+        policy = BackoffPolicy(retries=4, seed=11)
+        thawed = _roundtrip(policy)
+        assert thawed.schedule("q-1#1") == policy.schedule("q-1#1")
+        assert policy.schedule("q-1#1") == policy.schedule("q-1#1")
+        # Distinct tokens de-synchronise (the point of seeded jitter).
+        assert policy.schedule("q-1#1") != policy.schedule("q-2#2")
 
 
 class TestWorkloadArtifact:
