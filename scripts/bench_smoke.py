@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI smoke gate for the kernels and the execution-backend seam.
 
-Runs seven result-equivalence gates on small fixed workloads and exits
+Runs eight result-equivalence gates on small fixed workloads and exits
 non-zero **only** on a mismatch — the one property CI can judge on shared
 runners.  Timing numbers are recorded in the artifacts but never gate the
 build (CI machines are too noisy for that; the full-scale benches in
@@ -36,7 +36,14 @@ build (CI machines are too noisy for that; the full-scale benches in
    FaultPlan that SIGKILLs a worker mid-replay — the pool must rebuild
    in place, the recovered replay must print the fault-free exact-answer
    digest with zero failed requests, and no ``/dev/shm`` segment may
-   survive) → ``benchmarks/results/BENCH_resilience.json``.
+   survive) → ``benchmarks/results/BENCH_resilience.json``;
+8. the answer-cache gate (``repro.bench.cachebench``: the held-out
+   scenario resampled under a seeded Zipf popularity law and replayed
+   with the result-level answer cache off and on, on the inline and
+   process+shm backends — all four exact-answer digests must be equal,
+   the hot hit rate must reach 0.5 and a p50 cache hit must be at
+   least 5x faster than a p50 miss) →
+   ``benchmarks/results/BENCH_answer_cache.json``.
 
 Usage::
 
@@ -61,6 +68,7 @@ from repro.bench.assemblybench import (  # noqa: E402
     d12_comparison,
     default_cases,
 )
+from repro.bench.cachebench import run_cache_gate  # noqa: E402
 from repro.bench.compactbench import compare_kernels  # noqa: E402
 from repro.bench.datasets import load_bundle  # noqa: E402
 from repro.bench.chaosbench import run_chaos_gate  # noqa: E402
@@ -318,6 +326,47 @@ def main(argv=None) -> int:
             )
         if chaos.leaked:
             print(f"LEAKED SHM SEGMENTS: {chaos.leaked}", file=sys.stderr)
+
+    # -- gate 8: answer cache (Zipf hot-path digest + latency) -------------
+    cache_gate = run_cache_gate(workload, workers=2)
+    path = emit_json("BENCH_answer_cache", cache_gate.to_json())
+    print(
+        f"answer cache: {cache_gate.workload} resampled "
+        f"{cache_gate.popularity} over {cache_gate.unique_queries} unique "
+        f"queries; hot pass {cache_gate.hits} hits / {cache_gate.misses} "
+        f"misses (hit_rate={cache_gate.hit_rate:.2f}), p50 hit "
+        f"{cache_gate.p50_hit_ms:.3f} ms vs miss "
+        f"{cache_gate.p50_miss_ms:.3f} ms ({cache_gate.speedup:.0f}x)"
+    )
+    print(f"report: {path}")
+    if cache_gate.passed:
+        print(
+            "answer-cache gate OK: digest identical cache on/off on "
+            "inline and process+shm, hit rate >= "
+            f"{cache_gate.min_hit_rate}, hits >= "
+            f"{cache_gate.min_speedup:.0f}x faster"
+        )
+    else:
+        failed = True
+        if not cache_gate.equivalent:
+            print(
+                "DIGEST MISMATCH with the answer cache enabled: "
+                f"{cache_gate.digests}", file=sys.stderr,
+            )
+        if cache_gate.hit_rate < cache_gate.min_hit_rate:
+            print(
+                f"HIT RATE {cache_gate.hit_rate:.2f} is below the "
+                f"{cache_gate.min_hit_rate} bar on Zipf-skewed traffic",
+                file=sys.stderr,
+            )
+        if cache_gate.speedup < cache_gate.min_speedup:
+            print(
+                f"HIT SPEEDUP {cache_gate.speedup:.1f}x is below the "
+                f"{cache_gate.min_speedup:.0f}x bar "
+                f"(p50 hit {cache_gate.p50_hit_ms:.3f} ms, "
+                f"p50 miss {cache_gate.p50_miss_ms:.3f} ms)",
+                file=sys.stderr,
+            )
 
     return 1 if failed else 0
 

@@ -83,6 +83,21 @@ class TransformationLibrary:
         canonical, kind = entry
         return normalize_label(canonical), kind
 
+    def canonical_type(self, etype: str) -> str:
+        """Normalized family head for a type (itself when unknown).
+
+        Two types φ-match the same KG candidates iff their canonical
+        forms are equal — the property the serve-layer answer cache
+        relies on to collapse alias spellings to one key.
+        """
+        canon, _ = self._canonicalize(self._types, etype)
+        return canon
+
+    def canonical_name(self, name: str) -> str:
+        """Normalized family head for a name (itself when unknown)."""
+        canon, _ = self._canonicalize(self._names, name)
+        return canon
+
     def match_type(self, query_type: str, kg_type: str) -> Optional[str]:
         """Match kind if the types are φ-related, else ``None``."""
         canon_query, kind_query = self._canonicalize(self._types, query_type)

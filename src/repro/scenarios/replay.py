@@ -43,7 +43,14 @@ from repro.kg.schema import DomainSchema, preset_schema
 from repro.query.transform import TransformationLibrary
 from repro.scenarios.suite import Workload
 from repro.serve.service import QueryService
-from repro.serve.workload import ReplayReport, WorkloadItem, mix_deadlines, replay
+from repro.serve.workload import (
+    PopularitySpec,
+    ReplayReport,
+    WorkloadItem,
+    apply_popularity,
+    mix_deadlines,
+    replay,
+)
 from repro.utils.stats import percentile
 
 
@@ -75,7 +82,12 @@ def build_resources(workload: Workload) -> ScenarioResources:
 
 
 def scenario_items(workload: Workload) -> List[WorkloadItem]:
-    """Replayable items: intent as latency class, seeded deadline mix."""
+    """Replayable items: intent as latency class, seeded deadline mix.
+
+    A frozen ``popularity`` law (Zipf repetition) is applied after the
+    deadline mix — which queries run time-bounded is decided over the
+    unique query set, then the popularity draw repeats them.
+    """
     items = [
         WorkloadItem(
             query=q.query, k=workload.k, qid=q.qid, complexity=q.intent
@@ -87,6 +99,9 @@ def scenario_items(workload: Workload) -> List[WorkloadItem]:
         items = mix_deadlines(
             items, mix.fraction, mix.deadline, seed=workload.seed
         )
+    popularity = workload.popularity
+    if popularity is not None:
+        items = apply_popularity(items, popularity, workload.seed)
     return items
 
 
@@ -128,6 +143,9 @@ def replay_scenario(
     shared_graph: bool = False,
     fault_plan=None,
     retry_policy=None,
+    answer_cache: int = 0,
+    answer_cache_ttl: Optional[float] = None,
+    popularity: Optional[PopularitySpec] = None,
 ) -> ScenarioReplayResult:
     """One replay pass of the artifact through a fresh service.
 
@@ -137,10 +155,16 @@ def replay_scenario(
     measure).  ``fault_plan``/``retry_policy`` run the pass under
     supervision (see :mod:`repro.serve.resilience`): the chaos gate uses
     them to prove an injected crash still yields the fault-free digest.
+    ``answer_cache``/``answer_cache_ttl`` enable the front-side answer
+    cache; ``popularity`` resamples the item sequence on top of anything
+    the artifact froze (seeded by the workload) — the cache gate uses
+    both to prove the Zipf-skewed digest is cache-invariant.
     """
     if resources is None:
         resources = build_resources(workload)
     items = scenario_items(workload)
+    if popularity is not None:
+        items = apply_popularity(items, popularity, workload.seed)
     answers: Dict[str, List[str]] = {}
     kg = resources.kg
 
@@ -159,6 +183,10 @@ def replay_scenario(
         extra["retry_policy"] = retry_policy
     if extra:
         extra["supervised"] = True
+    if answer_cache:
+        extra["answer_cache"] = answer_cache
+        if answer_cache_ttl is not None:
+            extra["answer_cache_ttl"] = answer_cache_ttl
     with QueryService.build(
         resources.kg,
         resources.space,

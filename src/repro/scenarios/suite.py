@@ -34,6 +34,7 @@ from repro.query.transform import TransformationLibrary
 from repro.scenarios.augment import AugmentationBudget, augment_queries
 from repro.scenarios.intents import INTENT_NAMES, generate_intent_queries
 from repro.scenarios.vocab import DomainVocabulary
+from repro.serve.workload import PopularitySpec
 from repro.utils.rng import derive_rng
 
 #: Bump on any incompatible change to the artifact layout.
@@ -101,7 +102,15 @@ def query_from_json(payload: Mapping) -> QueryGraph:
 
 @dataclass(frozen=True)
 class Workload:
-    """A frozen, versioned, replayable scenario workload."""
+    """A frozen, versioned, replayable scenario workload.
+
+    ``popularity`` (optional, default ``None`` = uniform) freezes a
+    query repetition law into the artifact — replays resample the query
+    sequence under it (see
+    :func:`repro.serve.workload.apply_popularity`).  Artifacts written
+    before the field existed unpickle with the class default, so the
+    format version is unchanged.
+    """
 
     name: str
     domain: str
@@ -115,6 +124,7 @@ class Workload:
     deadline_mix: Optional[DeadlineMix]
     queries: Tuple[ScenarioQuery, ...]
     latency_budget_p95_ms: Dict[str, float] = field(default_factory=dict)
+    popularity: Optional[PopularitySpec] = None
     version: int = WORKLOAD_FORMAT_VERSION
 
     def intent_counts(self) -> Dict[str, int]:
@@ -153,6 +163,9 @@ class Workload:
                 else None
             ),
             "latency_budget_p95_ms": dict(sorted(self.latency_budget_p95_ms.items())),
+            "popularity": (
+                self.popularity.manifest() if self.popularity is not None else None
+            ),
             "intent_counts": self.intent_counts(),
             "queries": [
                 {
@@ -174,6 +187,7 @@ class Workload:
                 f"supported version {WORKLOAD_FORMAT_VERSION}"
             )
         deadline_mix = payload.get("deadline_mix")
+        popularity = payload.get("popularity")
         return cls(
             name=payload["name"],
             domain=payload["domain"],
@@ -197,6 +211,11 @@ class Workload:
                 for q in payload["queries"]
             ),
             latency_budget_p95_ms=dict(payload.get("latency_budget_p95_ms", {})),
+            popularity=(
+                PopularitySpec.from_manifest(popularity)
+                if popularity is not None
+                else None
+            ),
             version=version,
         )
 
@@ -250,6 +269,7 @@ class WorkloadBuilder:
         self._arrival = ArrivalSpec()
         self._deadline_mix: Optional[DeadlineMix] = None
         self._budget: Optional[AugmentationBudget] = None
+        self._popularity: Optional[PopularitySpec] = None
         self._latency_budgets: Dict[str, float] = {}
         self._default_latency_budget_ms = DEFAULT_LATENCY_BUDGET_P95_MS
 
@@ -337,6 +357,27 @@ class WorkloadBuilder:
         )
         return self
 
+    def popularity(
+        self,
+        kind: str = "zipf",
+        *,
+        s: float = 1.1,
+        length: Optional[int] = None,
+    ) -> "WorkloadBuilder":
+        """Freeze a query repetition law (seeded Zipf) into the artifact.
+
+        Replays then resample the query sequence under it, so the
+        workload contains genuine hot keys — the traffic shape answer
+        caching is evaluated against.  ``kind="uniform"`` restores the
+        default (each query once).
+        """
+        try:
+            spec = PopularitySpec(kind=kind, s=s, length=length)
+        except Exception as exc:
+            raise ScenarioError(str(exc)) from None
+        self._popularity = None if spec.kind == "uniform" else spec
+        return self
+
     def latency_budget(
         self, default_p95_ms: Optional[float] = None, **per_intent: float
     ) -> "WorkloadBuilder":
@@ -421,6 +462,7 @@ class WorkloadBuilder:
             deadline_mix=self._deadline_mix,
             queries=tuple(queries),
             latency_budget_p95_ms=budgets,
+            popularity=self._popularity,
         )
 
 

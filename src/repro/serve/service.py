@@ -18,6 +18,11 @@ budgets.  :class:`QueryService` is the serving seam between the two:
   pivot policy) reuse the minCost decomposition instead of re-running the
   Eq. 1 cost model — per service on shared-memory backends, per worker on
   the process backend;
+- an optional **result-level answer cache**
+  (:mod:`repro.serve.answer_cache`): exact answers memoized under a
+  canonical query fingerprint (permutation/alias-insensitive, bound to
+  the graph epoch) with singleflight dedup, front-of-process so hits
+  skip the execution backend entirely;
 - **per-query deadlines** map onto the existing
   :class:`~repro.core.time_bounded.TimeBoundedCoordinator` — a request
   with ``deadline=T`` runs the paper's TBQ (Algorithms 2-3) with the time
@@ -46,7 +51,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SearchConfig
 from repro.core.engine import EngineSpec, SemanticGraphQueryEngine, build_engine
-from repro.core.results import QueryResult
+from repro.core.results import QueryResult, QueryResultPayload
 from repro.embedding.predicate_space import PredicateSpace, SpaceCacheStats
 from repro.errors import ServeError
 from repro.kg.compact import CompactGraph, SharedCompactGraph
@@ -54,6 +59,12 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.shm import leaked_segments
 from repro.query.model import QueryGraph
 from repro.query.transform import TransformationLibrary
+from repro.serve.answer_cache import (
+    AnswerCache,
+    AnswerCacheStats,
+    EngineFingerprint,
+    canonicalize,
+)
 from repro.serve.backends import (
     EXECUTION_BACKENDS,
     MIN_TIME_BOUND,
@@ -125,6 +136,14 @@ class ServiceStats:
     shed or timed-out request is *also* counted in ``failed`` (its
     future resolves with an error); a retried request is counted
     ``completed`` or ``failed`` exactly once, by its final outcome.
+
+    The answer-cache counters (``answer_hits`` … ``answer_invalidations``)
+    stay zero without an :class:`~repro.serve.answer_cache.AnswerCache`.
+    A hit or collapsed follower is still ``submitted`` and ``completed``
+    — it just never reached the execution backend.  ``answer_evictions``
+    and ``answer_invalidations`` live inside the cache and are mirrored
+    into :meth:`QueryService.stats_snapshot` copies (the live object
+    keeps them zero).
     """
 
     submitted: int = 0
@@ -137,6 +156,11 @@ class ServiceStats:
     crashes: int = 0
     timeouts: int = 0
     fallbacks: int = 0
+    answer_hits: int = 0
+    answer_misses: int = 0
+    singleflight_collapsed: int = 0
+    answer_evictions: int = 0
+    answer_invalidations: int = 0
     backend: str = "thread"
 
     @property
@@ -154,6 +178,11 @@ class ServingStatsReport:
     copies (process backend) — a distinction reports must label, because
     a summed hit rate describes pool-wide behaviour, not any single
     cache, and misses repeated once per worker are expected there.
+
+    The answer cache is the exception: it sits front-of-process in the
+    service, one instance regardless of backend, so ``answers`` carries
+    its own ``answer_scope`` — always ``"shared"``, even while the
+    worker caches above report a per-worker sum.
     """
 
     backend: str
@@ -164,6 +193,8 @@ class ServingStatsReport:
     space: SpaceCacheStats
     memo_hits: int
     memo_misses: int
+    answers: Optional[AnswerCacheStats] = None
+    answer_scope: str = "shared"
 
     @property
     def memo_hit_rate(self) -> float:
@@ -187,6 +218,13 @@ class ServingStatsReport:
             f"misses={self.memo_misses} "
             f"hit_rate={self.memo_hit_rate:.3f}",
         ]
+        if self.answers is not None:
+            # Deliberately not scope_label(): the answer cache is one
+            # front-side instance even over the process backend.
+            lines.append(
+                f"answer cache ({self.answer_scope}): "
+                f"{self.answers.describe()}"
+            )
         return "\n".join(lines)
 
 
@@ -293,6 +331,21 @@ class QueryService:
             :class:`~repro.errors.OverloadError` instead of queueing.
         breaker_threshold / breaker_cooldown: consecutive pool breaks
             that open the circuit, and seconds before a half-open probe.
+        answer_cache: result-level answer caching
+            (:mod:`repro.serve.answer_cache`).  An ``int`` enables a
+            private LRU of that capacity; an
+            :class:`~repro.serve.answer_cache.AnswerCache` instance is
+            shared (e.g. across services over the same graph — it binds
+            to this engine's fingerprint and self-clears on epoch
+            change); ``None``/``0`` (default) disables.  The cache sits
+            *front-of-process*: hits and collapsed singleflight
+            followers never reach the execution backend — a hit skips
+            IPC on the process backend and, under supervision, consumes
+            no retry budget and never counts toward ``max_pending``
+            admission.  Only exact (SGQ) requests participate;
+            time-bounded requests always execute.
+        answer_cache_ttl: optional per-entry time-to-live (seconds) for
+            the private cache built from an ``int`` ``answer_cache``.
 
     Use as a context manager or call :meth:`close` to release the pool.
     """
@@ -317,6 +370,8 @@ class QueryService:
         max_pending: Optional[int] = None,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 5.0,
+        answer_cache: Union[None, int, AnswerCache] = None,
+        answer_cache_ttl: Optional[float] = None,
     ):
         if backend not in EXECUTION_BACKENDS:
             raise ServeError(
@@ -392,6 +447,13 @@ class QueryService:
                 start_method=start_method,
             )
             self.spec: Optional[EngineSpec] = spec
+            # Fingerprint from the pre-share base spec: a pool rebuild
+            # republishes the same graph, so the epoch is unchanged.
+            self._init_answer_cache(
+                answer_cache,
+                answer_cache_ttl,
+                EngineFingerprint.from_spec(self._base_spec),
+            )
             inner: ExecutionBackend = self._build_pool()
             self._backend: ExecutionBackend = (
                 self._supervise(inner, rebuildable=True) if supervised else inner
@@ -421,6 +483,9 @@ class QueryService:
             faults=faults,
         )
         self._runner = runner
+        self._init_answer_cache(
+            answer_cache, answer_cache_ttl, EngineFingerprint.from_engine(engine)
+        )
         on_complete = None if supervised else self._record_outcome
         if backend == "inline":
             inner = InlineBackend(runner, on_complete=on_complete)
@@ -429,6 +494,40 @@ class QueryService:
         self._backend = (
             self._supervise(inner, rebuildable=False) if supervised else inner
         )
+
+    def _init_answer_cache(
+        self,
+        answer_cache: Union[None, int, AnswerCache],
+        answer_cache_ttl: Optional[float],
+        fingerprint: EngineFingerprint,
+    ) -> None:
+        """Resolve the ``answer_cache`` argument and bind the epoch."""
+        if answer_cache is None or answer_cache == 0:
+            if answer_cache_ttl is not None:
+                raise ServeError(
+                    "answer_cache_ttl needs an answer cache; pass "
+                    "answer_cache=N to enable one"
+                )
+            self._answer_cache: Optional[AnswerCache] = None
+            self._fingerprint: Optional[EngineFingerprint] = None
+            return
+        if isinstance(answer_cache, AnswerCache):
+            if answer_cache_ttl is not None:
+                raise ServeError(
+                    "a shared AnswerCache instance carries its own ttl; "
+                    "drop answer_cache_ttl or pass a capacity int instead"
+                )
+            cache = answer_cache
+        elif isinstance(answer_cache, int) and not isinstance(answer_cache, bool):
+            cache = AnswerCache(answer_cache, ttl_seconds=answer_cache_ttl)
+        else:
+            raise ServeError(
+                "answer_cache must be None, a capacity int or an "
+                f"AnswerCache, got {type(answer_cache).__name__}"
+            )
+        cache.bind(fingerprint)
+        self._answer_cache = cache
+        self._fingerprint = fingerprint
 
     def _supervise(
         self, inner: ExecutionBackend, *, rebuildable: bool
@@ -636,6 +735,10 @@ class QueryService:
                 self.stats.submitted += 1
                 if request.deadline is not None:
                     self.stats.time_bounded += 1
+            # TBQ results are clock-dependent (anytime semantics): they
+            # bypass the answer cache unconditionally.
+            if self._answer_cache is not None and request.deadline is None:
+                return self._submit_cached(request)
             try:
                 return self._backend.submit(request, time.time())
             except BaseException:
@@ -644,6 +747,74 @@ class QueryService:
                 # the accounting here or in_flight drifts forever.
                 self._record_outcome(False)
                 raise
+
+    def _submit_cached(self, request: QueryRequest) -> "Future[QueryResult]":
+        """Front-side answer-cache path for one exact request.
+
+        Runs under ``self._lock``.  Hits and singleflight followers are
+        served without touching the execution backend at all — so on
+        the process backend a hit skips IPC, and under supervision a
+        hit can never be shed by ``max_pending`` admission or spend
+        retry budget (it never becomes an attempt).
+        """
+        cache = self._answer_cache
+        assert cache is not None and self._fingerprint is not None
+        key = canonicalize(request, self._fingerprint)
+        state, value = cache.acquire(key)
+        if state == "hit":
+            with self._stats_lock:
+                self.stats.answer_hits += 1
+            self._record_outcome(True)
+            future: "Future[QueryResult]" = Future()
+            future.set_result(value.to_result())
+            return future
+        if state == "follow":
+            with self._stats_lock:
+                self.stats.singleflight_collapsed += 1
+            # Outcome is recorded when the leader settles the flight.
+            return value
+        flight = value
+        with self._stats_lock:
+            self.stats.answer_misses += 1
+        try:
+            inner = self._backend.submit(request, time.time())
+        except BaseException as exc:
+            self._record_outcome(False)
+            followers, _payload, _error = cache.complete(flight, error=exc)
+            for follower in followers:
+                self._record_outcome(False)
+                follower.set_exception(exc)
+            raise
+        inner.add_done_callback(lambda fut: self._settle_flight(flight, fut))
+        return inner
+
+    def _settle_flight(self, flight, fut: "Future[QueryResult]") -> None:
+        """Leader completion: cache the payload, resolve the followers.
+
+        Runs as a done-callback on the leader's backend future — i.e.
+        after the leader's own outcome was recorded by the backend (or
+        synchronously inside ``submit`` on the inline backend).  Each
+        follower is a distinct submitted request, so it gets its own
+        ``_record_outcome`` before its future resolves, preserving the
+        completion-before-resolution ordering every backend guarantees.
+        """
+        cache = self._answer_cache
+        assert cache is not None
+        try:
+            error = fut.exception()
+        except BaseException as exc:  # pragma: no cover - cancelled leader
+            error = exc
+        if error is None:
+            payload = QueryResultPayload.from_result(fut.result())
+            followers, payload, _ = cache.complete(flight, payload=payload)
+            for follower in followers:
+                self._record_outcome(True)
+                follower.set_result(payload.to_result())
+        else:
+            followers, _, _ = cache.complete(flight, error=error)
+            for follower in followers:
+                self._record_outcome(False)
+                follower.set_exception(error)
 
     def _record_outcome(self, success: bool) -> None:
         # Runs on the execution path, strictly before the request's
@@ -711,9 +882,21 @@ class QueryService:
     # introspection
     # ------------------------------------------------------------------
     def stats_snapshot(self) -> ServiceStats:
-        """A consistent copy of the counters, taken under the lock."""
+        """A consistent copy of the counters, taken under the lock.
+
+        Eviction/invalidation counts live inside the
+        :class:`AnswerCache` (they happen on cache-internal paths, not
+        per-request) and are mirrored into the snapshot here.
+        """
+        answers = (
+            self._answer_cache.stats() if self._answer_cache is not None else None
+        )
         with self._stats_lock:
-            return replace(self.stats)
+            snapshot = replace(self.stats)
+        if answers is not None:
+            snapshot.answer_evictions = answers.evictions
+            snapshot.answer_invalidations = answers.invalidations
+        return snapshot
 
     def warmup(self, timeout: Optional[float] = None) -> int:
         """Make the first real request pay no construction latency.
@@ -766,6 +949,14 @@ class QueryService:
             space=total.space,
             memo_hits=total.memo_hits,
             memo_misses=total.memo_misses,
+            answers=(
+                self._answer_cache.stats()
+                if self._answer_cache is not None
+                else None
+            ),
+            # One front-side instance regardless of backend — labelled
+            # shared even when the worker caches above are summed.
+            answer_scope="shared",
         )
 
     def reset_serving_stats(self) -> None:
@@ -838,6 +1029,11 @@ class QueryService:
     def supervised(self) -> bool:
         """Whether the backend runs under a :class:`SupervisedBackend`."""
         return self._supervised
+
+    @property
+    def answer_cache(self) -> Optional[AnswerCache]:
+        """The front-side answer cache (``None`` when disabled)."""
+        return self._answer_cache
 
     def resilience(self) -> Optional[ResilienceStats]:
         """Supervision counters (``None`` on an unsupervised service).

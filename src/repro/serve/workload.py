@@ -127,6 +127,11 @@ class ReplayReport:
     (deltas of the service's monotonic totals): retries, pool_rebuilds,
     shed, crashes, timeouts, fallbacks.  All zero on an unsupervised or
     fault-free run; shed requests are also in ``failed``.
+
+    ``answers`` carries the answer-cache counters this pass caused, the
+    same delta way: answer_hits, answer_misses, singleflight_collapsed,
+    answer_evictions, answer_invalidations.  All zero without an
+    answer cache.
     """
 
     completed: int
@@ -142,6 +147,7 @@ class ReplayReport:
     deadline_requests: int = 0
     stats: Optional[ServingStatsReport] = None
     resilience: Dict[str, int] = field(default_factory=dict)
+    answers: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput_qps(self) -> float:
@@ -215,6 +221,19 @@ class ReplayReport:
         if self.truncated:
             lines.append(
                 f"ta: {self.truncated} queries hit the assembly round cap"
+            )
+        if self.answers and any(self.answers.values()):
+            a = self.answers
+            served = a.get("answer_hits", 0) + a.get("singleflight_collapsed", 0)
+            lookups = served + a.get("answer_misses", 0)
+            rate = served / lookups if lookups else 0.0
+            lines.append(
+                f"answer cache (shared): {a.get('answer_hits', 0)} hits, "
+                f"{a.get('answer_misses', 0)} misses, "
+                f"{a.get('singleflight_collapsed', 0)} collapsed "
+                f"(hit_rate={rate:.3f}; "
+                f"{a.get('answer_evictions', 0)} evictions, "
+                f"{a.get('answer_invalidations', 0)} invalidations)"
             )
         if self.resilience and any(self.resilience.values()):
             r = self.resilience
@@ -292,6 +311,110 @@ def mix_deadlines(
         replace(item, deadline=deadline) if index in chosen else item
         for index, item in enumerate(items)
     ]
+
+
+POPULARITY_KINDS = ("uniform", "zipf")
+
+
+@dataclass(frozen=True)
+class PopularitySpec:
+    """How often each workload query repeats in a replay.
+
+    ``uniform`` (the default) replays every item exactly once — the
+    historical behaviour, so existing artifacts replay unchanged.
+    ``zipf`` resamples the items under a Zipfian popularity law
+    (rank ``r`` drawn with probability ∝ ``r^-s``), the shape real
+    query traffic approximates — a few hot queries dominate, a long
+    tail trickles.  That skew is what makes an answer cache measurable:
+    a uniform replay has no hot keys to hit.
+
+    ``s`` is the skew exponent (larger = hotter head); ``length`` the
+    resampled request count (``None`` = same as the item count).
+    Picklable and versioned into scenario manifests.
+    """
+
+    kind: str = "uniform"
+    s: float = 1.1
+    length: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in POPULARITY_KINDS:
+            raise ServeError(
+                f"unknown popularity kind {self.kind!r} "
+                f"(expected one of {POPULARITY_KINDS})"
+            )
+        if self.kind == "zipf" and self.s <= 0:
+            raise ServeError(f"zipf exponent must be positive, got {self.s}")
+        if self.length is not None and self.length < 1:
+            raise ServeError(
+                f"popularity length must be at least 1, got {self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "PopularitySpec":
+        """Parse ``"uniform"`` or ``"zipf:<s>[:<length>]"``."""
+        parts = text.strip().split(":")
+        kind = parts[0]
+        if kind == "uniform":
+            if len(parts) > 1:
+                raise ServeError("uniform popularity takes no parameters")
+            return cls()
+        if kind != "zipf":
+            raise ServeError(
+                f"unknown popularity spec {text!r} "
+                "(expected 'uniform' or 'zipf:<s>[:<length>]')"
+            )
+        if len(parts) < 2 or len(parts) > 3:
+            raise ServeError(
+                f"zipf popularity needs 'zipf:<s>[:<length>]', got {text!r}"
+            )
+        try:
+            s = float(parts[1])
+            length = int(parts[2]) if len(parts) == 3 else None
+        except ValueError as exc:
+            raise ServeError(f"bad popularity spec {text!r}: {exc}") from None
+        return cls(kind="zipf", s=s, length=length)
+
+    def manifest(self) -> Dict[str, object]:
+        return {"kind": self.kind, "s": self.s, "length": self.length}
+
+    @classmethod
+    def from_manifest(cls, payload: Dict[str, object]) -> "PopularitySpec":
+        return cls(
+            kind=payload["kind"], s=payload["s"], length=payload["length"]
+        )
+
+    def describe(self) -> str:
+        if self.kind == "uniform":
+            return "uniform (each query once)"
+        suffix = f", {self.length} requests" if self.length is not None else ""
+        return f"zipf(s={self.s}{suffix})"
+
+
+def apply_popularity(
+    items: Sequence[WorkloadItem],
+    spec: Optional[PopularitySpec],
+    seed: int,
+) -> List[WorkloadItem]:
+    """Resample ``items`` under ``spec`` (seeded; identity for uniform).
+
+    Popularity ranks are assigned to items through a seeded permutation
+    — which query becomes the hot head is itself part of the draw, not
+    an artifact of generation order.  The same ``(items, spec, seed)``
+    triple always yields the same request sequence.
+    """
+    if spec is None or spec.kind == "uniform":
+        return list(items)
+    if not items:
+        return []
+    count = len(items)
+    length = spec.length if spec.length is not None else count
+    rng = derive_rng(seed, "workload:popularity")
+    rank_to_item = rng.permutation(count)
+    weights = [(rank + 1) ** -spec.s for rank in range(count)]
+    total = sum(weights)
+    draws = rng.choice(count, size=length, p=[w / total for w in weights])
+    return [items[int(rank_to_item[int(rank)])] for rank in draws]
 
 
 def _arrival_schedule(
@@ -376,6 +499,13 @@ def replay(
         "timeouts",
         "fallbacks",
     )
+    answer_keys = (
+        "answer_hits",
+        "answer_misses",
+        "singleflight_collapsed",
+        "answer_evictions",
+        "answer_invalidations",
+    )
     stats_before = service.stats_snapshot()
     watch = Stopwatch()
 
@@ -458,6 +588,10 @@ def replay(
         key: getattr(stats_after, key) - getattr(stats_before, key)
         for key in resilience_keys
     }
+    answers = {
+        key: getattr(stats_after, key) - getattr(stats_before, key)
+        for key in answer_keys
+    }
     return ReplayReport(
         completed=len(latencies),
         failed=failures[0],
@@ -476,6 +610,7 @@ def replay(
         ),
         stats=stats,
         resilience=resilience,
+        answers=answers,
     )
 
 
@@ -662,6 +797,42 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--answer-cache",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "enable the front-side result-level answer cache with an LRU "
+            "capacity of N entries: exact (SGQ) answers are memoized "
+            "under a canonical query fingerprint with singleflight "
+            "dedup, so repeated hot queries skip the engine (and IPC on "
+            "the process backend) entirely (default: 0 = off)"
+        ),
+    )
+    parser.add_argument(
+        "--answer-cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-entry time-to-live for --answer-cache entries; expired "
+            "answers recompute on next access (default: no expiry)"
+        ),
+    )
+    parser.add_argument(
+        "--popularity",
+        default="uniform",
+        metavar="SPEC",
+        help=(
+            "query repetition law: 'uniform' replays each workload query "
+            "once (default, the historical behaviour), 'zipf:<s>[:<len>]' "
+            "resamples the queries Zipf-skewed with exponent s (seeded), "
+            "giving the replay genuine hot keys — the traffic shape that "
+            "makes --answer-cache measurable.  With --scenario this "
+            "resamples the artifact's fixed query sequence."
+        ),
+    )
+    parser.add_argument(
         "--supervised",
         action="store_true",
         help=(
@@ -700,6 +871,35 @@ def _resilience_kwargs(args, parser) -> Dict[str, object]:
     if args.supervised or kwargs:
         kwargs["supervised"] = True
     return kwargs
+
+
+def _answer_cache_kwargs(args, parser) -> Dict[str, object]:
+    """Validate the answer-cache flags and build QueryService.build kwargs."""
+    if args.answer_cache < 0:
+        parser.error(
+            f"--answer-cache must be non-negative, got {args.answer_cache}"
+        )
+    if args.answer_cache_ttl is not None:
+        if args.answer_cache == 0:
+            parser.error("--answer-cache-ttl requires --answer-cache")
+        if args.answer_cache_ttl <= 0:
+            parser.error(
+                f"--answer-cache-ttl must be positive, "
+                f"got {args.answer_cache_ttl}"
+            )
+    kwargs: Dict[str, object] = {}
+    if args.answer_cache:
+        kwargs["answer_cache"] = args.answer_cache
+        if args.answer_cache_ttl is not None:
+            kwargs["answer_cache_ttl"] = args.answer_cache_ttl
+    return kwargs
+
+
+def _parse_popularity(args, parser) -> PopularitySpec:
+    try:
+        return PopularitySpec.parse(args.popularity)
+    except ServeError as exc:
+        parser.error(f"--popularity: {exc}")
 
 
 def _run_scenario(args, parser) -> int:
@@ -754,11 +954,26 @@ def _run_scenario(args, parser) -> int:
             f"at {mix.deadline:.2f} s (seeded selection)"
         )
     items = scenario_items(workload)
+    popularity = _parse_popularity(args, parser)
+    if popularity.kind != "uniform":
+        # Explicit resampling on top of the artifact's fixed sequence
+        # (the artifact's own popularity, if any, is already applied by
+        # scenario_items) — seeded by the workload, so repeatable.
+        items = apply_popularity(items, popularity, workload.seed)
+        print(
+            f"popularity: {popularity.describe()} — resampled to "
+            f"{len(items)} requests"
+        )
     kg = resources.kg
     resilience_kwargs = _resilience_kwargs(args, parser)
+    answer_kwargs = _answer_cache_kwargs(args, parser)
     plan = resilience_kwargs.get("fault_plan")
     if plan is not None:
         print(f"fault plan: {plan.describe()}")
+    if answer_kwargs:
+        ttl = answer_kwargs.get("answer_cache_ttl")
+        ttl_note = f", ttl {ttl} s" if ttl is not None else ""
+        print(f"answer cache: {args.answer_cache} entries{ttl_note}")
     with QueryService.build(
         resources.kg,
         resources.space,
@@ -771,6 +986,7 @@ def _run_scenario(args, parser) -> int:
         search_kernel=args.search_kernel,
         shared_graph=args.shared_graph,
         **resilience_kwargs,
+        **answer_kwargs,
     ) as service:
         if args.backend == "process":
             warmed = service.warmup()
@@ -873,10 +1089,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         items = mix_deadlines(
             items, args.tbq_fraction, args.deadline, seed=args.seed
         )
+    popularity = _parse_popularity(args, parser)
+    if popularity.kind != "uniform":
+        items = apply_popularity(items, popularity, args.seed)
+        print(
+            f"popularity: {popularity.describe()} — resampled to "
+            f"{len(items)} requests"
+        )
     resilience_kwargs = _resilience_kwargs(args, parser)
+    answer_kwargs = _answer_cache_kwargs(args, parser)
     plan = resilience_kwargs.get("fault_plan")
     if plan is not None:
         print(f"fault plan: {plan.describe()}")
+    if answer_kwargs:
+        ttl = answer_kwargs.get("answer_cache_ttl")
+        ttl_note = f", ttl {ttl} s" if ttl is not None else ""
+        print(f"answer cache: {args.answer_cache} entries{ttl_note}")
     with QueryService.build(
         bundle.kg,
         bundle.space,
@@ -888,6 +1116,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         search_kernel=args.search_kernel,
         shared_graph=args.shared_graph,
         **resilience_kwargs,
+        **answer_kwargs,
     ) as service:
         if args.backend == "process":
             warmed = service.warmup()

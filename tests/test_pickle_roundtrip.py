@@ -387,3 +387,115 @@ class TestWorkloadArtifact:
         path.write_bytes(pickle.dumps({"surprise": True}, protocol=4))
         with pytest.raises(ScenarioError):
             Workload.from_pickle(path)
+
+
+class TestAnswerCacheKeys:
+    """The answer cache's key and payload both cross process boundaries
+    (a front-side cache over the process backend stores payloads that
+    arrived by IPC), so the key must pickle to an *equal, equally
+    hashing* value and a cached entry must re-inflate identically."""
+
+    def _fingerprint(self, small_bundle):
+        from repro.serve.answer_cache import EngineFingerprint
+
+        engine = SemanticGraphQueryEngine(
+            small_bundle.kg, small_bundle.space, small_bundle.library
+        )
+        return engine, EngineFingerprint.from_engine(engine)
+
+    def test_canonical_key_roundtrips_as_a_dict_key(self, small_bundle):
+        from repro.serve.answer_cache import canonicalize
+
+        _, fingerprint = self._fingerprint(small_bundle)
+        request = QueryRequest(query=_product_query(), k=5)
+        key = canonicalize(request, fingerprint)
+        thawed = _roundtrip(key)
+        assert thawed == key
+        assert hash(thawed) == hash(key)
+        assert {key: "cached"}[thawed] == "cached"
+        # Canonicalizing the thawed request reproduces the same key —
+        # the pair crosses the boundary without drifting apart.
+        assert canonicalize(_roundtrip(request), fingerprint) == key
+
+    def test_cached_entry_roundtrips_and_reinflates(self, small_bundle):
+        from repro.serve.answer_cache import canonicalize
+
+        engine, fingerprint = self._fingerprint(small_bundle)
+        request = QueryRequest(query=_product_query(), k=5)
+        key = canonicalize(request, fingerprint)
+        payload = QueryResultPayload.from_result(
+            engine.search(request.query, k=request.k)
+        )
+        thawed_key, thawed_payload = _roundtrip((key, payload))
+        assert thawed_key == key
+        expected = payload.to_result()
+        actual = thawed_payload.to_result()
+        problem = final_matches_differ(
+            "cached-entry", expected.matches, actual.matches
+        )
+        assert problem is None, problem
+        assert actual.answer_uids() == expected.answer_uids()
+
+
+class TestPopularitySpec:
+    """The Zipf popularity law is frozen into workload artifacts, so it
+    must survive pickle and the JSON manifest — and artifacts written
+    before the field existed must keep unpickling (class-level default,
+    same format version)."""
+
+    def test_spec_roundtrips(self):
+        from repro.serve.workload import PopularitySpec
+
+        spec = PopularitySpec(kind="zipf", s=1.3, length=64)
+        thawed = _roundtrip(spec)
+        assert thawed == spec
+        assert PopularitySpec.from_manifest(thawed.manifest()) == spec
+        assert PopularitySpec.parse("zipf:1.3:64") == spec
+        assert PopularitySpec.parse("uniform") == PopularitySpec()
+
+    def test_workload_with_popularity_roundtrips(self, tmp_path):
+        from repro.scenarios import Workload, WorkloadBuilder
+
+        workload = (
+            WorkloadBuilder("popularity-suite", seed=77)
+            .domain("dbpedia")
+            .intents(star=2, chain=1)
+            .top_k(5)
+            .popularity("zipf", s=1.2, length=20)
+            .build()
+        )
+        assert workload.popularity is not None
+        path = tmp_path / "popular.pkl"
+        workload.to_pickle(path)
+        loaded = Workload.from_pickle(path)
+        assert loaded.popularity == workload.popularity
+        assert loaded.manifest() == workload.manifest()
+        import json
+
+        rebuilt = Workload.from_manifest(
+            json.loads(json.dumps(workload.manifest()))
+        )
+        assert rebuilt.popularity == workload.popularity
+
+    def test_pre_popularity_pickle_still_loads(self, tmp_path):
+        """An artifact pickled before the field existed carries no
+        ``popularity`` instance attribute; the class-level default must
+        absorb that (uniform), with the format version unchanged."""
+        from repro.scenarios import Workload, WorkloadBuilder
+
+        workload = (
+            WorkloadBuilder("legacy-suite", seed=77)
+            .domain("dbpedia")
+            .intents(star=1, chain=1)
+            .top_k(5)
+            .build()
+        )
+        state = workload.__dict__.copy()
+        del state["popularity"]
+        legacy = Workload.__new__(Workload)
+        legacy.__dict__.update(state)
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(pickle.dumps(legacy, protocol=4))
+        loaded = Workload.from_pickle(path)
+        assert loaded.popularity is None
+        assert "popularity" in loaded.manifest()

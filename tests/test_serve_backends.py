@@ -337,3 +337,38 @@ class TestSeededReplayDeterminism:
                     expected.to_result(),
                     actual.to_result(),
                 )
+
+
+class TestAnswerCacheConformance:
+    """The answer cache must be invisible to results: cache on vs off,
+    cold vs warm, every backend — bit-identical exact answers."""
+
+    @pytest.mark.parametrize("backend", EXECUTION_BACKENDS)
+    def test_cache_on_off_bit_identical_cold_and_warm(
+        self, small_bundle, reference_results, backend
+    ):
+        queries = small_bundle.workload[:4]
+        with QueryService.build(
+            small_bundle.kg,
+            small_bundle.space,
+            small_bundle.library,
+            backend=backend,
+            workers=2,
+            compact=True,
+            answer_cache=32,
+        ) as service:
+            # Pass 1 is all cold misses; pass 2 is all warm hits.  Both
+            # must reproduce the sequential engine bit for bit.
+            for run in (1, 2):
+                results = service.search_many([q.query for q in queries], k=K)
+                for q, result in zip(queries, results):
+                    _assert_identical(
+                        f"{backend}/cache/pass{run}/{q.qid}",
+                        reference_results[(True, q.qid)],
+                        result,
+                    )
+            snap = service.stats_snapshot()
+        # The warm pass was served without a single extra engine run.
+        assert snap.answer_misses == len(queries)
+        assert snap.answer_hits + snap.singleflight_collapsed == len(queries)
+        assert snap.completed == 2 * len(queries)
