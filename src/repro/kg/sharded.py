@@ -1,0 +1,1049 @@
+"""Entity-partitioned sharded store over the compact CSR kernel.
+
+One frozen :class:`~repro.kg.compact.CompactGraph` is as fast as a single
+box allows — and exactly as large as that box's RAM allows.  This module
+splits the store along **entity ownership** so the edge tables (the part
+that grows with the graph) divide across N independent shards while
+results stay bit-identical to the unsharded kernel:
+
+- :func:`partition_entities` deterministically assigns every entity to a
+  shard (seeded ``"hash"`` mixing or greedy ``"balanced-degree"``);
+- every edge is **owned by exactly one shard** — the shard of its source
+  entity — and both of its incidence slots live in that shard, one under
+  each endpoint's CSR row.  A node's incidence is therefore *scattered*
+  across shards (its in-edges live wherever their sources live), which is
+  what makes ``weighted_incident`` an embarrassingly parallel per-shard
+  gather;
+- each shard is a real :class:`CompactGraph` (independently freezable,
+  picklable, shm-publishable) whose CSR rows span **all** nodes but hold
+  only the shard's owned slots, in global relative order.  Entity columns
+  (types, names, ``indptr``) are replicated per shard; edge columns are
+  not — memory divides where it matters;
+- the **cut-edge replica table** is the per-slot ``slot_rank`` column:
+  each local slot remembers its global position inside its node's
+  unsharded incidence row.  Ranks are unique per node, so merging the
+  per-shard gathers back into one sequence is a stable sort by rank —
+  this is the ordering invariant that keeps heap tie-breaks, and hence
+  answers, bit-identical to the unsharded view.  It is also what makes a
+  cut edge (endpoints on different shards) visible from *both* endpoints:
+  the remote endpoint's row in the owner shard carries the slot, and the
+  rank says exactly where it belongs in the merge;
+- ``m(u)`` (Lemma 1) is a per-shard segment-max over the shard's slots;
+  the global bound is the max over shards — exact for floats, so the
+  merged bound equals the unsharded one bit for bit.
+
+:class:`ShardedGraphView` implements the minimal
+:class:`~repro.core.semantic_graph.WeightedGraphView` protocol over the
+shard set, fanning the gathers out sequentially inline or concurrently on
+a small thread pool (the merge is rank-keyed, so both schedules produce
+the same sequence).  Each shard gets its **own**
+:class:`~repro.serve.cache.SemanticGraphCache` and its own private
+:class:`~repro.embedding.predicate_space.PredicateSpace` row LRU
+(:meth:`PredicateSpace.with_private_rows`), so the serving-layer cache
+wins survive partitioning without cross-shard lock contention;
+per-shard hit/miss stats surface as labelled :class:`ShardCacheStats`
+rows.
+
+Lifecycle mirrors the single-graph story: :meth:`ShardedGraph.to_shared`
+publishes one :class:`~repro.kg.shm.ShmArrayBlock` per shard (segment
+names keep the ``repro-cg`` prefix so the ``/dev/shm`` leak probes cover
+them) and returns a :class:`SharedShardedGraph` multi-lease whose
+O(metadata) :class:`ShardedGraphHandle` rides the
+:class:`~repro.core.engine.EngineSpec` to process workers;
+:meth:`ShardedGraph.from_handle` attaches every shard zero-copy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.kg.compact import (
+    SHARED_COLUMNS,
+    CompactGraph,
+    CompactGraphHandle,
+    CompactKnowledgeGraph,
+)
+from repro.kg.graph import Edge, Entity, GraphStatistics, KnowledgeGraph
+from repro.kg.shm import SHM_PREFIX, ShmArrayBlock
+from repro.utils.rng import derive_rng
+
+#: Supported entity-partitioning strategies.
+SHARD_STRATEGIES = ("hash", "balanced-degree")
+
+#: Per-shard shm segments are named ``repro-cg-shard<i>-<pid>-<hex>`` —
+#: still under :data:`~repro.kg.shm.SHM_PREFIX`, so the default
+#: ``leaked_segments()`` scan covers them.
+SHARD_SEGMENT_PREFIX = SHM_PREFIX + "-shard"
+
+#: Extra (non-``SHARED_COLUMNS``) columns each shard's shm block carries.
+_SHARD_EXTRA_COLUMNS = ("slot_rank", "owned_edges")
+
+#: The entity → shard assignment travels in shard 0's block, keeping the
+#: handle pickle O(metadata) like the single-graph handle.
+_SHARD_OF_COLUMN = "shard_of"
+
+
+def compact_resident_bytes(graph: CompactGraph) -> int:
+    """Bytes of the kernel's resident column arrays (the shm payload)."""
+    return sum(
+        int(np.asarray(getattr(graph, name)).nbytes) for name in SHARED_COLUMNS
+    )
+
+
+# ----------------------------------------------------------------------
+# entity partitioner
+# ----------------------------------------------------------------------
+
+def partition_entities(
+    graph: CompactGraph,
+    num_shards: int,
+    *,
+    strategy: str = "hash",
+    seed: int = 0,
+) -> np.ndarray:
+    """Deterministic entity → shard assignment (``int32``, length V).
+
+    ``"hash"`` mixes each uid with a seed-derived salt through the
+    splitmix64 finalizer — stateless, uniform, and stable across runs
+    with the same seed.  ``"balanced-degree"`` sorts nodes by
+    ``(-degree, uid)`` and greedily assigns each to the least-loaded
+    shard (load = owned degree mass; ties break to the lowest shard id)
+    — deterministic by construction, so the seed only matters to the
+    hash strategy.  Same inputs → byte-identical assignment array.
+    """
+    if num_shards < 1:
+        raise GraphError(f"num_shards must be at least 1, got {num_shards}")
+    if strategy not in SHARD_STRATEGIES:
+        raise GraphError(
+            f"unknown shard strategy {strategy!r} "
+            f"(expected one of {SHARD_STRATEGIES})"
+        )
+    num_nodes = graph.num_nodes
+    if strategy == "hash":
+        rng = derive_rng(seed, f"entity-shard-hash-{num_shards}")
+        salt = np.uint64(int(rng.integers(0, 2**63)))
+        uids = np.arange(num_nodes, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            x = uids + salt
+            x ^= x >> np.uint64(30)
+            x *= np.uint64(0xBF58476D1CE4E5B9)
+            x ^= x >> np.uint64(27)
+            x *= np.uint64(0x94D049BB133111EB)
+            x ^= x >> np.uint64(31)
+        return (x % np.uint64(num_shards)).astype(np.int32)
+
+    degrees = np.diff(graph.indptr)
+    # Heaviest node first, uid as the tie-break; the greedy heap then
+    # spreads degree mass evenly (classic LPT scheduling).
+    order = np.lexsort((np.arange(num_nodes), -degrees))
+    assignment = np.empty(num_nodes, dtype=np.int32)
+    heap: List[Tuple[int, int]] = [(0, sid) for sid in range(num_shards)]
+    heapq.heapify(heap)
+    degree_list = degrees.tolist()
+    for uid in order.tolist():
+        load, sid = heapq.heappop(heap)
+        assignment[uid] = sid
+        # +1 keeps isolated nodes spreading too instead of all landing
+        # on shard 0.
+        heapq.heappush(heap, (load + degree_list[uid] + 1, sid))
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# shard slicing
+# ----------------------------------------------------------------------
+
+@dataclass(eq=False)
+class GraphShard:
+    """One shard: a full-width CompactGraph over the shard's owned slots.
+
+    ``slot_rank[s]`` is local slot ``s``'s position inside its node's
+    *global* (unsharded) incidence row — the cut-edge replica table that
+    lets per-shard gathers merge back into the exact global order.
+    ``owned_edges`` maps local edge ids back to global edge ids
+    (ascending, so local id order == global id order).
+    """
+
+    shard_id: int
+    graph: CompactGraph
+    slot_rank: np.ndarray
+    owned_edges: np.ndarray
+    cut_edges: int
+    _rank_list: Optional[List[int]] = field(default=None, repr=False)
+
+    def rank_list(self) -> List[int]:
+        """Python-int mirror of ``slot_rank`` for the merge hot loop."""
+        if self._rank_list is None:
+            self._rank_list = self.slot_rank.tolist()
+        return self._rank_list
+
+    def resident_bytes(self) -> int:
+        """Shard-resident bytes: columns + rank table + edge-id map."""
+        return (
+            compact_resident_bytes(self.graph)
+            + int(self.slot_rank.nbytes)
+            + int(self.owned_edges.nbytes)
+        )
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_rank_list"] = None
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphShard(id={self.shard_id}, edges={self.graph.num_edges}, "
+            f"cut={self.cut_edges})"
+        )
+
+
+def _slice_shards(
+    full: CompactGraph, shard_of: np.ndarray, num_shards: int
+) -> List[GraphShard]:
+    """Split a frozen kernel into per-shard kernels by edge ownership.
+
+    Pure array slicing over the full freeze — no per-shard ``add_edge``
+    replay — so within-node slot order (and hence the rank table) is
+    taken straight from the global CSR.
+    """
+    num_nodes, num_edges = full.num_nodes, full.num_edges
+    edge_owner = shard_of[np.asarray(full.edge_source)]
+    slot_owner = edge_owner[np.asarray(full.slot_edge)]
+    row_lengths = np.diff(full.indptr)
+    node_of_slot = np.repeat(
+        np.arange(num_nodes, dtype=np.int64), row_lengths
+    )
+    rank_global = (
+        np.arange(2 * num_edges, dtype=np.int64)
+        - np.repeat(full.indptr[:-1], row_lengths)
+    ).astype(np.int32)
+    cut_mask = shard_of[np.asarray(full.edge_source)] != shard_of[
+        np.asarray(full.edge_target)
+    ]
+
+    shards: List[GraphShard] = []
+    for sid in range(num_shards):
+        owned = np.flatnonzero(edge_owner == sid)
+        sel = np.flatnonzero(slot_owner == sid)
+        counts = np.bincount(node_of_slot[sel], minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        graph = CompactGraph(
+            kg=None,
+            kg_name=f"{full.kg_name}#shard{sid}",
+            num_nodes=num_nodes,
+            num_edges=int(owned.size),
+            predicate_names=full.predicate_names,
+            predicate_index=full.predicate_index,
+            type_names=full.type_names,
+            type_index=full.type_index,
+            entity_type=full.entity_type,
+            edge_source=np.ascontiguousarray(full.edge_source[owned]),
+            edge_target=np.ascontiguousarray(full.edge_target[owned]),
+            edge_predicate=np.ascontiguousarray(full.edge_predicate[owned]),
+            indptr=indptr,
+            slot_neighbor=np.ascontiguousarray(full.slot_neighbor[sel]),
+            slot_predicate=np.ascontiguousarray(full.slot_predicate[sel]),
+            slot_edge=np.searchsorted(owned, full.slot_edge[sel]),
+            slot_forward=np.ascontiguousarray(full.slot_forward[sel]),
+            name_blob=full.name_blob,
+            name_offsets=full.name_offsets,
+        )
+        shards.append(
+            GraphShard(
+                shard_id=sid,
+                graph=graph,
+                slot_rank=np.ascontiguousarray(rank_global[sel]),
+                owned_edges=owned,
+                cut_edges=int(cut_mask[owned].sum()),
+            )
+        )
+    return shards
+
+
+# ----------------------------------------------------------------------
+# the shard set + shared-memory lifecycle
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardedGraphHandle:
+    """Picklable pointer to a shm-resident shard set.
+
+    One :class:`~repro.kg.compact.CompactGraphHandle` per shard; the
+    entity → shard assignment rides in shard 0's block (column
+    ``shard_of``), so — like the single-graph handle — the pickle is
+    O(metadata), independent of V and E.
+    """
+
+    shards: Tuple[CompactGraphHandle, ...]
+    kg_name: str
+    num_nodes: int
+    num_edges: int
+    cut_edges: int
+    strategy: str
+    seed: int
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+class ShardedGraph:
+    """N entity-partitioned :class:`GraphShard`\\ s over one frozen graph.
+
+    Build with :meth:`build` (slices a transient full freeze), attach
+    with :meth:`from_handle` (zero-copy per-shard shm mappings), publish
+    with :meth:`to_shared`.  Instances are immutable; pickling ships the
+    shard arrays and drops the source-graph reference, like
+    :class:`CompactGraph` itself.
+    """
+
+    _TRANSIENT = ("kg",)
+
+    def __init__(
+        self,
+        *,
+        kg_name: str,
+        num_nodes: int,
+        num_edges: int,
+        shards: Sequence[GraphShard],
+        shard_of: np.ndarray,
+        strategy: str,
+        seed: int,
+        kg: Optional[KnowledgeGraph] = None,
+    ):
+        self.kg = kg
+        self.kg_name = kg_name
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.shards = list(shards)
+        self.shard_of = shard_of
+        self.strategy = strategy
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        kg: KnowledgeGraph,
+        num_shards: int,
+        *,
+        strategy: str = "hash",
+        seed: int = 0,
+        compact: Optional[CompactGraph] = None,
+    ) -> "ShardedGraph":
+        """Partition ``kg`` into ``num_shards`` shards.
+
+        The full freeze is transient scaffolding: it exists long enough
+        to take the global slot order (the rank table) and is dropped
+        once the shards are sliced.  Pass ``compact`` to reuse an
+        existing fresh freeze.
+        """
+        full = compact
+        if full is None or full.is_stale(kg):
+            full = CompactGraph.freeze(kg)
+        shard_of = partition_entities(
+            full, num_shards, strategy=strategy, seed=seed
+        )
+        return cls(
+            kg=kg,
+            kg_name=full.kg_name,
+            num_nodes=full.num_nodes,
+            num_edges=full.num_edges,
+            shards=_slice_shards(full, shard_of, num_shards),
+            shard_of=shard_of,
+            strategy=strategy,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def cut_edges(self) -> int:
+        """Edges whose endpoints live on different shards."""
+        return sum(shard.cut_edges for shard in self.shards)
+
+    def resident_bytes(self) -> List[int]:
+        """Per-shard resident bytes (what each shard's box would hold)."""
+        return [shard.resident_bytes() for shard in self.shards]
+
+    def max_resident_bytes(self) -> int:
+        return max(self.resident_bytes())
+
+    # ------------------------------------------------------------------
+    # shared-memory lifecycle
+    # ------------------------------------------------------------------
+    def to_shared(self) -> "SharedShardedGraph":
+        """Publish every shard into its own shm segment (multi-lease).
+
+        Returns the owning :class:`SharedShardedGraph`; close it after
+        the workers are gone.  On a mid-publish failure the blocks
+        already created are released before the error propagates, so a
+        partial publish cannot leak ``/dev/shm`` entries.
+        """
+        blocks: List[ShmArrayBlock] = []
+        handles: List[CompactGraphHandle] = []
+        try:
+            for shard in self.shards:
+                arrays = {
+                    name: getattr(shard.graph, name) for name in SHARED_COLUMNS
+                }
+                arrays["slot_rank"] = shard.slot_rank
+                arrays["owned_edges"] = shard.owned_edges
+                if shard.shard_id == 0:
+                    arrays[_SHARD_OF_COLUMN] = self.shard_of
+                block = ShmArrayBlock.create(
+                    arrays,
+                    prefix=f"{SHARD_SEGMENT_PREFIX}{shard.shard_id}",
+                )
+                blocks.append(block)
+                handles.append(
+                    CompactGraphHandle(
+                        block=block.handle,
+                        num_nodes=shard.graph.num_nodes,
+                        num_edges=shard.graph.num_edges,
+                        kg_name=shard.graph.kg_name,
+                        predicate_names=tuple(shard.graph.predicate_names),
+                        type_names=tuple(shard.graph.type_names),
+                    )
+                )
+        except BaseException:
+            for block in reversed(blocks):
+                block.close()
+                block.unlink()
+            raise
+        handle = ShardedGraphHandle(
+            shards=tuple(handles),
+            kg_name=self.kg_name,
+            num_nodes=self.num_nodes,
+            num_edges=self.num_edges,
+            cut_edges=self.cut_edges,
+            strategy=self.strategy,
+            seed=self.seed,
+        )
+        return SharedShardedGraph(handle=handle, blocks=blocks)
+
+    @classmethod
+    def from_handle(cls, handle: ShardedGraphHandle) -> "ShardedGraph":
+        """Attach every shard zero-copy (O(metadata) per shard).
+
+        Raises :class:`~repro.errors.GraphError` when any segment is
+        gone — the owning service closed it or died.
+        """
+        shards: List[GraphShard] = []
+        shard_of: Optional[np.ndarray] = None
+        for sid, shard_handle in enumerate(handle.shards):
+            block = ShmArrayBlock.attach(shard_handle.block)
+            columns = {
+                name: block.array(name) for name in SHARED_COLUMNS
+            }
+            predicate_names = list(shard_handle.predicate_names)
+            type_names = list(shard_handle.type_names)
+            graph = CompactGraph(
+                kg=None,
+                kg_name=shard_handle.kg_name,
+                num_nodes=shard_handle.num_nodes,
+                num_edges=shard_handle.num_edges,
+                predicate_names=predicate_names,
+                predicate_index={
+                    name: i for i, name in enumerate(predicate_names)
+                },
+                type_names=type_names,
+                type_index={name: i for i, name in enumerate(type_names)},
+                _shm_block=block,
+                **columns,
+            )
+            if sid == 0:
+                shard_of = block.array(_SHARD_OF_COLUMN)
+            owned = block.array("owned_edges")
+            shards.append(
+                GraphShard(
+                    shard_id=sid,
+                    graph=graph,
+                    slot_rank=block.array("slot_rank"),
+                    owned_edges=owned,
+                    cut_edges=-1,  # recomputed below, once shard_of is up
+                )
+            )
+        assert shard_of is not None
+        for shard in shards:
+            sources = np.asarray(shard.graph.edge_source)
+            targets = np.asarray(shard.graph.edge_target)
+            shard.cut_edges = int(
+                np.count_nonzero(shard_of[sources] != shard_of[targets])
+            )
+        return cls(
+            kg=None,
+            kg_name=handle.kg_name,
+            num_nodes=handle.num_nodes,
+            num_edges=handle.num_edges,
+            shards=shards,
+            shard_of=shard_of,
+            strategy=handle.strategy,
+            seed=handle.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        for name in self._TRANSIENT:
+            state[name] = None
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedGraph(name={self.kg_name!r}, shards={self.num_shards}, "
+            f"nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"cut={self.cut_edges}, strategy={self.strategy!r})"
+        )
+
+
+class SharedShardedGraph:
+    """The owner's multi-lease on a published shard set.
+
+    One shm segment per shard; :meth:`close` releases them in reverse
+    publication order (idempotent) — the ordering the service leak probe
+    asserts on.  Usable as a context manager, like the single-graph
+    lease.
+    """
+
+    def __init__(
+        self, handle: ShardedGraphHandle, blocks: Sequence[ShmArrayBlock]
+    ):
+        self.handle = handle
+        self._blocks = list(blocks)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Every shard segment's name (for ``/dev/shm`` leak probes)."""
+        return tuple(block.name for block in self._blocks)
+
+    @property
+    def name(self) -> str:
+        """A display name covering all shard segments."""
+        return ",".join(self.names)
+
+    @property
+    def closed(self) -> bool:
+        return all(block.closed for block in self._blocks)
+
+    def close(self) -> None:
+        """Detach and unlink every shard segment (idempotent)."""
+        for block in reversed(self._blocks):
+            block.close()
+            block.unlink()
+
+    def __enter__(self) -> "SharedShardedGraph":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"SharedShardedGraph({len(self._blocks)} shards, {state}, "
+            f"nodes={self.handle.num_nodes}, edges={self.handle.num_edges})"
+        )
+
+
+# ----------------------------------------------------------------------
+# KnowledgeGraph facade over the shard set
+# ----------------------------------------------------------------------
+
+class ShardedKnowledgeGraph:
+    """Read-only :class:`~repro.kg.graph.KnowledgeGraph` facade over shards.
+
+    Entity columns are replicated in every shard, so entity/name/type
+    lookups delegate to a :class:`CompactKnowledgeGraph` over shard 0.
+    Edge-touching surfaces route through the shards: a node's full
+    incidence is the rank-keyed merge of the per-shard rows (exactly the
+    global insertion order), its out-edges live wholly in its owner
+    shard, and aggregate edge counts sum across shards.
+    """
+
+    def __init__(self, sharded: ShardedGraph):
+        self._sharded = sharded
+        self._facades = [
+            CompactKnowledgeGraph(shard.graph) for shard in sharded.shards
+        ]
+        self._base = self._facades[0]
+        self.name = sharded.kg_name
+        self._degree_total: Optional[np.ndarray] = None
+        self._predicate_counts: Optional[Dict[str, int]] = None
+
+    @property
+    def sharded(self) -> ShardedGraph:
+        return self._sharded
+
+    # ------------------------------------------------------------------
+    # entity surface (replicated columns — shard 0 answers)
+    # ------------------------------------------------------------------
+    def entity(self, uid: int) -> Entity:
+        return self._base.entity(uid)
+
+    def entities(self) -> Iterator[Entity]:
+        return self._base.entities()
+
+    def entities_of_type(self, etype: str) -> List[int]:
+        return self._base.entities_of_type(etype)
+
+    def entities_named(self, name: str) -> List[int]:
+        return self._base.entities_named(name)
+
+    def entity_by_name(self, name: str) -> Entity:
+        return self._base.entity_by_name(name)
+
+    def types(self) -> List[str]:
+        return self._base.types()
+
+    def predicates(self) -> List[str]:
+        return self._base.predicates()
+
+    @property
+    def num_entities(self) -> int:
+        return self._sharded.num_nodes
+
+    # ------------------------------------------------------------------
+    # edge surface (merged across shards)
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self._sharded.num_edges
+
+    def has_edge(self, source: int, predicate: str, target: int) -> bool:
+        owner = int(self._sharded.shard_of[source])
+        return self._facades[owner].has_edge(source, predicate, target)
+
+    def _merged_slots(self, uid: int) -> List[Tuple[int, Edge, int, bool]]:
+        """(rank, edge, neighbour, forward) across shards, rank-sorted."""
+        merged: List[Tuple[int, Edge, int, bool]] = []
+        for shard in self._sharded.shards:
+            graph = shard.graph
+            slots = graph.node_slots[uid]
+            if not slots:
+                continue
+            start = graph.indptr_list()[uid]
+            ranks = shard.rank_list()
+            forward = graph.slot_forward
+            for offset, (edge, neighbor, _pid) in enumerate(slots):
+                merged.append(
+                    (
+                        ranks[start + offset],
+                        edge,
+                        neighbor,
+                        bool(forward[start + offset]),
+                    )
+                )
+        merged.sort(key=lambda item: item[0])
+        return merged
+
+    def incident(self, uid: int) -> Iterator[Tuple[Edge, int]]:
+        """``(edge, neighbour)`` in global insertion order (rank merge)."""
+        self._base._check_uid(uid)
+        return iter(
+            [(edge, neighbor)
+             for _rank, edge, neighbor, _fwd in self._merged_slots(uid)]
+        )
+
+    def incident_list(self, uid: int) -> List[Tuple[Edge, int]]:
+        self._base._check_uid(uid)
+        return [
+            (edge, neighbor)
+            for _rank, edge, neighbor, _fwd in self._merged_slots(uid)
+        ]
+
+    def out_incident(self, uid: int) -> List[Tuple[Edge, int]]:
+        """Out-edges of ``uid`` — wholly owned by ``uid``'s shard."""
+        self._base._check_uid(uid)
+        owner = int(self._sharded.shard_of[uid])
+        return self._facades[owner].out_incident(uid)
+
+    def in_incident(self, uid: int) -> List[Tuple[Edge, int]]:
+        """In-edges of ``uid``, merged across the shards owning them."""
+        self._base._check_uid(uid)
+        return [
+            (edge, neighbor)
+            for _rank, edge, neighbor, fwd in self._merged_slots(uid)
+            if not fwd
+        ]
+
+    def out_edges(self, uid: int) -> List[Edge]:
+        return [edge for edge, _other in self.out_incident(uid)]
+
+    def in_edges(self, uid: int) -> List[Edge]:
+        return [edge for edge, _other in self.in_incident(uid)]
+
+    def degree(self, uid: int) -> int:
+        self._base._check_uid(uid)
+        return sum(
+            shard.graph.degree(uid) for shard in self._sharded.shards
+        )
+
+    def neighbors(self, uid: int) -> List[int]:
+        seen: Set[int] = set()
+        out: List[int] = []
+        for _rank, _edge, other, _fwd in self._merged_slots(uid):
+            if other not in seen:
+                seen.add(other)
+                out.append(other)
+        return out
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def predicate_frequency(self, predicate: str) -> int:
+        if self._predicate_counts is None:
+            names = self._base.predicates()
+            totals = np.zeros(len(names), dtype=np.int64)
+            for shard in self._sharded.shards:
+                totals += np.bincount(
+                    shard.graph.edge_predicate, minlength=len(names)
+                )
+            self._predicate_counts = {
+                name: int(totals[pid]) for pid, name in enumerate(names)
+            }
+        return self._predicate_counts.get(predicate, 0)
+
+    def _total_degrees(self) -> np.ndarray:
+        if self._degree_total is None:
+            total = np.zeros(self._sharded.num_nodes, dtype=np.int64)
+            for shard in self._sharded.shards:
+                total += np.diff(shard.graph.indptr)
+            self._degree_total = total
+        return self._degree_total
+
+    def statistics(self) -> GraphStatistics:
+        """Aggregate statistics — value-equal to the unsharded graph's."""
+        num_entities = self._sharded.num_nodes
+        if num_entities:
+            degrees = self._total_degrees()
+            average = int(degrees.sum()) / num_entities
+            max_degree = int(degrees.max())
+        else:
+            average = 0.0
+            max_degree = 0
+        base = self._base.compact
+        return GraphStatistics(
+            num_entities=num_entities,
+            num_edges=self._sharded.num_edges,
+            num_types=len(base.type_names),
+            num_predicates=len(base.predicate_names),
+            average_degree=average,
+            max_degree=max_degree,
+        )
+
+    def triples(self) -> Iterator[Tuple[str, str, str]]:
+        """``(head, predicate, tail)`` triples in global edge-id order."""
+        names = self._base.compact.entity_names()
+        entries: List[Tuple[int, Edge]] = []
+        for shard in self._sharded.shards:
+            owned = shard.owned_edges.tolist()
+            for local, edge in enumerate(shard.graph.edges):
+                entries.append((owned[local], edge))
+        entries.sort(key=lambda item: item[0])
+        for _eid, edge in entries:
+            yield (names[edge.source], edge.predicate, names[edge.target])
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedKnowledgeGraph(name={self.name!r}, "
+            f"shards={self._sharded.num_shards}, "
+            f"entities={self.num_entities}, edges={self.num_edges})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the fan-out view + factory
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardCacheStats:
+    """One labelled per-shard cache-stats row (cf. ``WorkerSnapshot``)."""
+
+    shard_id: int
+    edges_weighted: int
+    cache_hits: int
+    cache: object  # CacheStats of the shard's SemanticGraphCache
+    space: object  # SpaceCacheStats of the shard's private row LRU
+
+    def describe(self) -> str:
+        parts = [
+            f"shard {self.shard_id}: edges_weighted={self.edges_weighted} "
+            f"row_hits={self.cache_hits}"
+        ]
+        if self.cache is not None:
+            parts.append(self.cache.describe())
+        if self.space is not None:
+            parts.append(self.space.describe())
+        return " | ".join(parts)
+
+
+class ShardedGraphView:
+    """Rank-merged :class:`WeightedGraphView` over per-shard compact views.
+
+    ``weighted_incident`` gathers each shard's slice of the node's row
+    (weights from that shard's own cached row) and merges by the global
+    rank table — a stable sort over unique keys, so the yielded sequence
+    is bit-identical to the unsharded view's, whichever schedule ran the
+    gathers.  ``max_adjacent_weight_any`` is the max over per-shard
+    segment-max bounds (exact for floats).
+
+    The view deliberately does **not** expose the single-CSR surface
+    (``graph`` / ``weight_row_array``), so the ``"auto"`` search kernel
+    falls back to the reference A* — the merge seam is the protocol, not
+    the arrays.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedGraph,
+        views: Sequence,  # per-shard CompactSemanticGraphView
+        *,
+        pool: Optional[ThreadPoolExecutor] = None,
+    ):
+        self._sharded = sharded
+        self._views = list(views)
+        self._shards = sharded.shards
+        self._pool = pool if len(self._views) > 1 else None
+        self._touched: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _shard_part(
+        self, index: int, uid: int, query_predicate: str
+    ) -> List[Tuple[int, Edge, int, float]]:
+        """One shard's slice of ``uid``'s weighted row, rank-tagged."""
+        view = self._views[index]
+        graph = view.graph
+        slots = graph.node_slots[uid]
+        if not slots:
+            return []
+        row_list = view._weight_row(query_predicate)[1]
+        start = graph.indptr_list()[uid]
+        ranks = self._shards[index].rank_list()
+        return [
+            (ranks[start + offset], edge, neighbor, row_list[pid])
+            for offset, (edge, neighbor, pid) in enumerate(slots)
+        ]
+
+    def weighted_incident(
+        self, uid: int, query_predicate: str
+    ) -> Iterable[Tuple[Edge, int, float]]:
+        """``(edge, neighbour, weight)`` in exact global slot order."""
+        self._touched.add(uid)
+        if self._pool is not None:
+            parts = list(
+                self._pool.map(
+                    lambda index: self._shard_part(index, uid, query_predicate),
+                    range(len(self._views)),
+                )
+            )
+        else:
+            parts = [
+                self._shard_part(index, uid, query_predicate)
+                for index in range(len(self._views))
+            ]
+        merged: List[Tuple[int, Edge, int, float]] = []
+        for part in parts:
+            merged.extend(part)
+        merged.sort(key=lambda item: item[0])
+        for _rank, edge, neighbor, weight in merged:
+            yield edge, neighbor, weight
+
+    def weight(self, query_predicate: str, graph_predicate: str) -> float:
+        """Scalar pair weight (shards share one predicate table)."""
+        return self._views[0].weight(query_predicate, graph_predicate)
+
+    def max_adjacent_weight(self, uid: int, query_predicate: str) -> float:
+        """Global ``m(u)``: max of the per-shard segment maxima."""
+        self._touched.add(uid)
+        return max(
+            view.max_adjacent_weight(uid, query_predicate)
+            for view in self._views
+        )
+
+    def max_adjacent_weight_any(
+        self, uid: int, query_predicates: Iterable[str]
+    ) -> float:
+        """``m(u)`` against several predicates — max over shards, exact."""
+        self._touched.add(uid)
+        predicates = list(query_predicates)
+        if self._pool is not None:
+            bounds = self._pool.map(
+                lambda view: view.max_adjacent_weight_any(uid, predicates),
+                self._views,
+            )
+            return max(bounds)
+        best = 0.0
+        for view in self._views:
+            bound = view.max_adjacent_weight_any(uid, predicates)
+            if bound > best:
+                best = bound
+        return best
+
+    def note_touched(self, uids: Iterable[int]) -> None:
+        self._touched.update(uids)
+
+    # ------------------------------------------------------------------
+    # aggregated stats (engine reads these via getattr)
+    # ------------------------------------------------------------------
+    @property
+    def touched_nodes(self) -> int:
+        return len(self._touched)
+
+    @property
+    def edges_weighted(self) -> int:
+        """Materialised pair weights, summed across shard views."""
+        return sum(view.edges_weighted for view in self._views)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(view.cache_hits for view in self._views)
+
+    @property
+    def materialized_pairs(self) -> int:
+        return sum(view.materialized_pairs for view in self._views)
+
+    def materialization_ratio(self) -> float:
+        if self._sharded.num_nodes == 0:
+            return 0.0
+        return self.touched_nodes / self._sharded.num_nodes
+
+    def shard_stats(self) -> List[ShardCacheStats]:
+        """Per-shard labelled stats rows for this view's query."""
+        rows: List[ShardCacheStats] = []
+        for index, view in enumerate(self._views):
+            cache = view._cache
+            rows.append(
+                ShardCacheStats(
+                    shard_id=index,
+                    edges_weighted=view.edges_weighted,
+                    cache_hits=view.cache_hits,
+                    cache=cache.stats if cache is not None else None,
+                    space=view.space.stats(),
+                )
+            )
+        return rows
+
+
+class ShardedViewFactory:
+    """Builds :class:`ShardedGraphView`\\ s over one shard set.
+
+    Matches the engine's ``view_factory`` seam.  Holds the persistent
+    per-shard state the views share across queries: one
+    :class:`~repro.serve.cache.SemanticGraphCache` per shard, one
+    private-row :class:`PredicateSpace` clone per (shard, space), and —
+    when ``fanout="pool"`` — one small thread pool for concurrent
+    gathers.  The engine's shared ``cache`` argument is deliberately
+    ignored: per-shard caches *are* the sharded serving win, and a
+    single shared cache would serialise every shard on one lock.
+    """
+
+    def __init__(self, sharded: ShardedGraph, *, fanout: str = "inline"):
+        if fanout not in ("inline", "pool"):
+            raise GraphError(
+                f"unknown shard fanout {fanout!r} "
+                "(expected 'inline' or 'pool')"
+            )
+        self._sharded = sharded
+        self.fanout = fanout
+        self._caches: Optional[List] = None
+        # id(space) -> (weakref-free space anchor, per-shard clones);
+        # one engine uses one space, so this holds a single entry in
+        # practice.
+        self._space_clones: Dict[int, Tuple[object, List]] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def sharded(self) -> ShardedGraph:
+        return self._sharded
+
+    def _shard_caches(self) -> List:
+        if self._caches is None:
+            from repro.serve.cache import SemanticGraphCache
+
+            self._caches = [
+                SemanticGraphCache() for _ in range(self._sharded.num_shards)
+            ]
+        return self._caches
+
+    def _shard_spaces(self, space) -> List:
+        entry = self._space_clones.get(id(space))
+        if entry is not None and entry[0] is space:
+            return entry[1]
+        clones = [
+            space.with_private_rows()
+            for _ in range(self._sharded.num_shards)
+        ]
+        self._space_clones = {id(space): (space, clones)}
+        return clones
+
+    def _fanout_pool(self) -> Optional[ThreadPoolExecutor]:
+        if self.fanout != "pool" or self._sharded.num_shards < 2:
+            return None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(self._sharded.num_shards, 4),
+                thread_name_prefix="shard-fanout",
+            )
+        return self._pool
+
+    def __call__(
+        self,
+        kg,
+        space,
+        *,
+        min_weight: float = 0.0,
+        cache=None,
+    ) -> ShardedGraphView:
+        from repro.core.compact_view import CompactSemanticGraphView
+
+        caches = self._shard_caches()
+        spaces = self._shard_spaces(space)
+        views = [
+            CompactSemanticGraphView(
+                shard.graph,
+                spaces[shard.shard_id],
+                min_weight=min_weight,
+                cache=caches[shard.shard_id],
+            )
+            for shard in self._sharded.shards
+        ]
+        return ShardedGraphView(
+            self._sharded, views, pool=self._fanout_pool()
+        )
+
+    def shard_stats(self) -> List[ShardCacheStats]:
+        """Cumulative per-shard cache stats across every query served."""
+        rows: List[ShardCacheStats] = []
+        caches = self._shard_caches()
+        entry = next(iter(self._space_clones.values()), None)
+        clones = entry[1] if entry is not None else None
+        for sid in range(self._sharded.num_shards):
+            rows.append(
+                ShardCacheStats(
+                    shard_id=sid,
+                    edges_weighted=0,
+                    cache_hits=0,
+                    cache=caches[sid].stats,
+                    space=(
+                        clones[sid].stats() if clones is not None else None
+                    ),
+                )
+            )
+        return rows
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,452 @@
+"""Sharded-store conformance: partitioning, rank merge, serve wiring.
+
+The sharded store's contract is that partitioning is an *implementation
+detail*: the partitioner is seed-deterministic, every edge is owned by
+exactly one shard, the rank-merged view reproduces the unsharded view's
+incidence sequences bit for bit (so answers cannot drift), memory
+divides where it matters, and the serve layer composes it with shared
+memory, per-shard caches and the engine fingerprint without changing a
+single answer.  ``scripts/bench_smoke.py`` gate 9
+(``repro.bench.shardbench``) re-checks the digest and memory claims in
+CI on the held-out scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.equivalence import final_matches_differ
+from repro.core.engine import EngineSpec, build_engine
+from repro.errors import GraphError, SearchError, ServeError
+from repro.kg.compact import CompactGraph
+from repro.kg.sharded import (
+    SHARD_SEGMENT_PREFIX,
+    SHARD_STRATEGIES,
+    ShardedGraph,
+    ShardedKnowledgeGraph,
+    ShardedViewFactory,
+    compact_resident_bytes,
+    partition_entities,
+)
+from repro.kg.shm import SHM_PREFIX, leaked_segments
+from repro.serve.service import QueryService
+
+
+@pytest.fixture(scope="module")
+def frozen(small_bundle):
+    return CompactGraph.freeze(small_bundle.kg)
+
+
+@pytest.fixture(scope="module")
+def sharded4(small_bundle):
+    return ShardedGraph.build(small_bundle.kg, 4, strategy="hash", seed=0)
+
+
+def _sample_uids(graph, count=40):
+    """A deterministic spread of node ids, biased to include hubs."""
+    degrees = np.diff(graph.indptr)
+    hubs = np.argsort(degrees)[::-1][: count // 2]
+    rest = np.linspace(0, graph.num_nodes - 1, count // 2, dtype=np.int64)
+    return sorted(set(hubs.tolist()) | set(rest.tolist()))
+
+
+class TestPartitioner:
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_same_seed_is_byte_identical(self, frozen, strategy):
+        first = partition_entities(frozen, 4, strategy=strategy, seed=13)
+        second = partition_entities(frozen, 4, strategy=strategy, seed=13)
+        assert first.dtype == np.int32
+        assert first.tobytes() == second.tobytes()
+
+    def test_hash_seed_changes_assignment(self, frozen):
+        a = partition_entities(frozen, 4, strategy="hash", seed=0)
+        b = partition_entities(frozen, 4, strategy="hash", seed=1)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_every_shard_is_used(self, frozen, strategy):
+        assignment = partition_entities(frozen, 4, strategy=strategy)
+        assert assignment.shape == (frozen.num_nodes,)
+        assert set(np.unique(assignment)) == {0, 1, 2, 3}
+
+    def test_balanced_degree_balances_load(self, frozen):
+        assignment = partition_entities(frozen, 4, strategy="balanced-degree")
+        degrees = np.diff(frozen.indptr)
+        loads = np.bincount(assignment, weights=degrees, minlength=4)
+        # Greedy largest-first: no shard can exceed the mean by more
+        # than one node's degree mass.
+        assert loads.max() - loads.min() <= degrees.max() + 1
+
+    def test_single_shard_is_all_zero(self, frozen):
+        assert not partition_entities(frozen, 1).any()
+
+    def test_invalid_inputs_rejected(self, frozen):
+        with pytest.raises(GraphError):
+            partition_entities(frozen, 0)
+        with pytest.raises(GraphError):
+            partition_entities(frozen, 2, strategy="round-robin")
+
+
+class TestShardedGraphBuild:
+    def test_edges_partition_exactly(self, frozen, sharded4):
+        owned = np.concatenate(
+            [shard.owned_edges for shard in sharded4.shards]
+        )
+        assert len(owned) == frozen.num_edges
+        assert np.array_equal(np.sort(owned), np.arange(frozen.num_edges))
+        for shard in sharded4.shards:
+            # Both slots of every owned edge live in the owner shard.
+            assert shard.graph.indptr[-1] == 2 * len(shard.owned_edges)
+
+    def test_ranks_are_global_positions(self, frozen, sharded4):
+        for uid in _sample_uids(frozen):
+            merged = []
+            for shard in sharded4.shards:
+                lo, hi = shard.graph.indptr[uid], shard.graph.indptr[uid + 1]
+                for slot in range(lo, hi):
+                    merged.append(
+                        (
+                            int(shard.slot_rank[slot]),
+                            int(shard.graph.slot_neighbor[slot]),
+                            int(shard.owned_edges[shard.graph.slot_edge[slot]]),
+                        )
+                    )
+            merged.sort()
+            ranks = [rank for rank, _, _ in merged]
+            assert ranks == list(range(len(ranks)))
+            # Rank-merged (neighbor, edge) equals the unsharded row.
+            lo, hi = frozen.indptr[uid], frozen.indptr[uid + 1]
+            expected = [
+                (int(frozen.slot_neighbor[s]), int(frozen.slot_edge[s]))
+                for s in range(lo, hi)
+            ]
+            assert [(n, e) for _, n, e in merged] == expected
+
+    def test_cut_edges_match_assignment(self, frozen, sharded4):
+        src = frozen.edge_source
+        dst = frozen.edge_target
+        expected = int(
+            (sharded4.shard_of[src] != sharded4.shard_of[dst]).sum()
+        )
+        assert sharded4.cut_edges == expected
+
+    @pytest.mark.parametrize("count", [2, 4])
+    def test_memory_divides(self, small_bundle, frozen, count):
+        sharded = ShardedGraph.build(small_bundle.kg, count)
+        assert sharded.max_resident_bytes() < compact_resident_bytes(frozen)
+        assert len(sharded.resident_bytes()) == count
+
+
+class TestViewConformance:
+    """The rank-merged view must be indistinguishable from the unsharded
+    compact view — same sequences, same bounds, same answers."""
+
+    @pytest.fixture(scope="class")
+    def views(self, small_bundle, sharded4):
+        from repro.core.compact_view import CompactViewFactory
+
+        baseline = CompactViewFactory()(small_bundle.kg, small_bundle.space)
+        sharded_view = ShardedViewFactory(sharded4)(
+            small_bundle.kg, small_bundle.space
+        )
+        return baseline, sharded_view
+
+    def test_weighted_incident_sequences_identical(self, frozen, views):
+        baseline, sharded_view = views
+        for qp in ("product", "country", "designer"):
+            for uid in _sample_uids(frozen):
+                expected = list(baseline.weighted_incident(uid, qp))
+                actual = list(sharded_view.weighted_incident(uid, qp))
+                assert actual == expected, (qp, uid)
+
+    def test_segment_max_identical(self, frozen, views):
+        baseline, sharded_view = views
+        predicates = ("product", "country", "designer")
+        for uid in _sample_uids(frozen):
+            assert sharded_view.max_adjacent_weight_any(
+                uid, predicates
+            ) == baseline.max_adjacent_weight_any(uid, predicates), uid
+
+    def test_weight_matrix_identical(self, views, small_bundle):
+        baseline, sharded_view = views
+        for qp in ("product", "country"):
+            for gp in small_bundle.space.predicates():
+                assert sharded_view.weight(qp, gp) == baseline.weight(qp, gp)
+
+
+class TestEngineConformance:
+    @pytest.mark.parametrize("search_kernel", ["reference", "auto"])
+    def test_end_to_end_payloads_identical(
+        self, small_bundle, sharded4, search_kernel
+    ):
+        baseline = build_engine(
+            EngineSpec(
+                kg=small_bundle.kg,
+                space=small_bundle.space,
+                library=small_bundle.library,
+                compact=True,
+                search_kernel="reference",
+            )
+        )
+        sharded_engine = build_engine(
+            EngineSpec(
+                kg=None,
+                space=small_bundle.space,
+                library=small_bundle.library,
+                compact=True,
+                search_kernel=search_kernel,
+                sharded_graph=sharded4,
+            )
+        )
+        for item in small_bundle.workload[:4]:
+            expected = baseline.search(item.query, k=5)
+            actual = sharded_engine.search(item.query, k=5)
+            problem = final_matches_differ(
+                item.qid, expected.matches, actual.matches
+            )
+            assert problem is None, problem
+
+    def test_pool_fanout_matches_inline(self, small_bundle, sharded4):
+        inline = build_engine(
+            EngineSpec(
+                kg=None, space=small_bundle.space,
+                library=small_bundle.library, compact=True,
+                sharded_graph=sharded4, shard_fanout="inline",
+            )
+        )
+        pooled = build_engine(
+            EngineSpec(
+                kg=None, space=small_bundle.space,
+                library=small_bundle.library, compact=True,
+                sharded_graph=sharded4, shard_fanout="pool",
+            )
+        )
+        for item in small_bundle.workload[:3]:
+            expected = inline.search(item.query, k=5)
+            actual = pooled.search(item.query, k=5)
+            problem = final_matches_differ(
+                item.qid, expected.matches, actual.matches
+            )
+            assert problem is None, problem
+
+
+class TestFacade:
+    """The ShardedKnowledgeGraph facade must read like the original KG."""
+
+    @pytest.fixture(scope="class")
+    def facade(self, sharded4):
+        return ShardedKnowledgeGraph(sharded4)
+
+    def test_entity_surface(self, small_bundle, facade):
+        kg = small_bundle.kg
+        assert facade.num_entities == kg.num_entities
+        assert facade.num_edges == kg.num_edges
+        for uid in (0, 1, kg.num_entities - 1):
+            assert facade.entity(uid).name == kg.entity(uid).name
+        assert facade.types() == kg.types()
+        assert facade.predicates() == kg.predicates()
+
+    def test_incidence_matches_original_order(
+        self, small_bundle, frozen, facade
+    ):
+        kg = small_bundle.kg
+
+        def row(pairs):
+            return [
+                (edge.source, edge.predicate, edge.target, nbr)
+                for edge, nbr in pairs
+            ]
+
+        for uid in _sample_uids(frozen, count=20):
+            assert row(facade.incident_list(uid)) == row(
+                kg.incident_list(uid)
+            ), uid
+            assert facade.degree(uid) == kg.degree(uid)
+
+    def test_statistics_and_triples(self, small_bundle, facade):
+        assert facade.statistics() == small_bundle.kg.statistics()
+        assert list(facade.triples()) == list(small_bundle.kg.triples())
+
+
+class TestShmLifecycle:
+    def test_shard_prefix_is_covered_by_default_scan(self):
+        # The leak-probe contract: derived segment families must extend
+        # SHM_PREFIX so `leaked_segments()` needs no extra argument.
+        assert SHARD_SEGMENT_PREFIX.startswith(SHM_PREFIX)
+
+    def test_publish_attach_close(self, small_bundle, sharded4):
+        before = leaked_segments()
+        lease = sharded4.to_shared()
+        try:
+            assert len(lease.names) == 4
+            live = set(leaked_segments()) - set(before)
+            assert live == set(lease.names)
+            for sid, name in enumerate(lease.names):
+                assert name.startswith(f"{SHARD_SEGMENT_PREFIX}{sid}")
+            attached = ShardedGraph.from_handle(lease.handle)
+            assert attached.num_shards == sharded4.num_shards
+            assert np.array_equal(attached.shard_of, sharded4.shard_of)
+            for mine, theirs in zip(sharded4.shards, attached.shards):
+                assert np.array_equal(mine.slot_rank, theirs.slot_rank)
+                assert np.array_equal(mine.owned_edges, theirs.owned_edges)
+                assert np.array_equal(
+                    mine.graph.slot_neighbor, theirs.graph.slot_neighbor
+                )
+        finally:
+            lease.close()
+        assert leaked_segments() == before
+        lease.close()  # idempotent
+
+    def test_attached_engine_answers_identically(
+        self, small_bundle, sharded4
+    ):
+        baseline = build_engine(
+            EngineSpec(
+                kg=None, space=small_bundle.space,
+                library=small_bundle.library, compact=True,
+                sharded_graph=sharded4,
+            )
+        )
+        with sharded4.to_shared() as lease:
+            attached = build_engine(
+                EngineSpec(
+                    kg=None, space=small_bundle.space,
+                    library=small_bundle.library, compact=True,
+                    sharded_handle=lease.handle,
+                )
+            )
+            for item in small_bundle.workload[:3]:
+                expected = baseline.search(item.query, k=5)
+                actual = attached.search(item.query, k=5)
+                problem = final_matches_differ(
+                    item.qid, expected.matches, actual.matches
+                )
+                assert problem is None, problem
+        assert leaked_segments() == []
+
+
+class TestValidation:
+    def test_factory_rejects_unknown_fanout(self, sharded4):
+        with pytest.raises(GraphError, match="fanout"):
+            ShardedViewFactory(sharded4, fanout="ludicrous")
+
+    def test_spec_rejects_sharded_without_compact(
+        self, small_bundle, sharded4
+    ):
+        with pytest.raises(SearchError, match="compact"):
+            EngineSpec(
+                kg=None, space=small_bundle.space,
+                library=small_bundle.library, compact=False,
+                sharded_graph=sharded4,
+            )
+
+    def test_spec_rejects_sharded_plus_compact_graph(
+        self, small_bundle, frozen, sharded4
+    ):
+        with pytest.raises(SearchError, match="mutually exclusive"):
+            EngineSpec(
+                kg=None, space=small_bundle.space,
+                library=small_bundle.library, compact=True,
+                sharded_graph=sharded4, compact_graph=frozen,
+            )
+
+    def test_spec_rejects_vectorized_search(self, small_bundle, sharded4):
+        with pytest.raises(SearchError, match="vectorized"):
+            EngineSpec(
+                kg=None, space=small_bundle.space,
+                library=small_bundle.library, compact=True,
+                search_kernel="vectorized", sharded_graph=sharded4,
+            )
+
+    def test_service_validates_shard_arguments(self, small_bundle):
+        build = dict(
+            space=small_bundle.space, library=small_bundle.library
+        )
+        with pytest.raises(ServeError):
+            QueryService.build(small_bundle.kg, shards=-1, **build)
+        with pytest.raises(ServeError):
+            QueryService.build(
+                small_bundle.kg, shards=2, compact=False, **build
+            )
+        with pytest.raises(ServeError):
+            QueryService.build(
+                small_bundle.kg, shards=2, compact=True,
+                shard_strategy="modulo", **build,
+            )
+        with pytest.raises(ServeError):
+            QueryService.build(
+                small_bundle.kg, shard_fanout="pool", **build
+            )
+
+
+class TestServeIntegration:
+    def test_sharded_service_answers_and_stats(self, small_bundle):
+        with QueryService.build(
+            small_bundle.kg,
+            small_bundle.space,
+            small_bundle.library,
+            compact=True,
+            shards=2,
+            shard_strategy="balanced-degree",
+        ) as service:
+            baseline = build_engine(
+                EngineSpec(
+                    kg=small_bundle.kg, space=small_bundle.space,
+                    library=small_bundle.library, compact=True,
+                )
+            )
+            for item in small_bundle.workload[:3]:
+                expected = baseline.search(item.query, k=5)
+                actual = service.search_many([item.query], k=5)[0]
+                problem = final_matches_differ(
+                    item.qid, expected.matches, actual.matches
+                )
+                assert problem is None, problem
+            rows = service.shard_stats()
+            assert [row.shard_id for row in rows] == [0, 1]
+            for row in rows:
+                assert f"shard {row.shard_id}" in row.describe()
+            report = service.serving_stats()
+            assert len(report.shards) == 2
+            assert "per-shard caches" in report.describe()
+
+    def test_fingerprint_token_separates_layouts(
+        self, small_bundle, sharded4
+    ):
+        from repro.serve.answer_cache import EngineFingerprint
+
+        unsharded = EngineFingerprint.from_spec(
+            EngineSpec(
+                kg=small_bundle.kg, space=small_bundle.space,
+                library=small_bundle.library, compact=True,
+            )
+        )
+        sharded = EngineFingerprint.from_spec(
+            EngineSpec(
+                kg=None, space=small_bundle.space,
+                library=small_bundle.library, compact=True,
+                sharded_graph=sharded4,
+            )
+        )
+        assert sharded.token != unsharded.token
+        assert sharded.token[0][0] == "sharded"
+        # The handle spec (what a rebuilt pool worker sees) must keep
+        # the same token, or a pool rebuild would flush the cache epoch.
+        with sharded4.to_shared() as lease:
+            via_handle = EngineFingerprint.from_spec(
+                EngineSpec(
+                    kg=None, space=small_bundle.space,
+                    library=small_bundle.library, compact=True,
+                    sharded_handle=lease.handle,
+                )
+            )
+            assert via_handle.token == sharded.token
+        # Fan-out schedule never changes answers, so it must not
+        # change the token either.
+        pooled = EngineFingerprint.from_spec(
+            EngineSpec(
+                kg=None, space=small_bundle.space,
+                library=small_bundle.library, compact=True,
+                sharded_graph=sharded4, shard_fanout="pool",
+            )
+        )
+        assert pooled.token == sharded.token
